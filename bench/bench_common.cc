@@ -1,0 +1,145 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/macros.h"
+
+namespace smol::bench {
+
+void PrintTitle(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  std::printf("\n%s\n| %s |\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cols, int width) {
+  for (const auto& col : cols) {
+    std::printf("%-*s", width, col.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRule(int cols, int width) {
+  std::string rule(static_cast<size_t>(cols) * width, '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+namespace {
+
+bool FullScale() {
+  const char* env = std::getenv("SMOL_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+std::string CacheDir() {
+  const char* env = std::getenv("SMOL_CACHE_DIR");
+  std::string dir = env != nullptr ? env : ".bench_cache";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+}  // namespace
+
+Result<DatasetSpec> BenchDatasetSpec(const std::string& name) {
+  SMOL_ASSIGN_OR_RETURN(DatasetSpec spec, FindImageDataset(name));
+  if (FullScale()) return spec;
+  // Bench scale: enough samples for stable accuracy ordering, small enough
+  // that the whole accuracy suite trains in minutes on two cores.
+  if (name == "bike-bird") {
+    spec.train_size = 300;
+    spec.test_size = 150;
+  } else if (name == "animals-10") {
+    spec.train_size = 480;
+    spec.test_size = 200;
+  } else if (name == "birds-200") {
+    spec.train_size = 640;
+    spec.test_size = 256;
+  } else if (name == "imagenet") {
+    spec.train_size = 720;
+    spec.test_size = 288;
+  }
+  return spec;
+}
+
+const char* TrainConditionName(TrainCondition condition) {
+  switch (condition) {
+    case TrainCondition::kRegular:
+      return "reg";
+    case TrainCondition::kLowRes:
+      return "lowres";
+  }
+  return "?";
+}
+
+int BenchEpochs() { return FullScale() ? 8 : 4; }
+
+Result<std::unique_ptr<Model>> TrainOrLoadModel(const ImageDataset& dataset,
+                                                const std::string& arch,
+                                                TrainCondition condition) {
+  const std::string cache_path =
+      CacheDir() + "/" + dataset.spec().name + "_" + arch + "_" +
+      TrainConditionName(condition) + "_e" + std::to_string(BenchEpochs()) +
+      "_n" + std::to_string(dataset.spec().train_size) + ".smolnn";
+  // Cache hit?
+  {
+    std::ifstream in(cache_path, std::ios::binary);
+    if (in.good()) {
+      std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+      auto loaded = LoadModel(bytes);
+      if (loaded.ok()) return std::move(loaded).MoveValue();
+      // Corrupt/stale cache entry: fall through and retrain.
+    }
+  }
+  SMOL_ASSIGN_OR_RETURN(
+      SmolNetSpec spec,
+      GetSmolNetSpec(arch, dataset.spec().num_classes));
+  SMOL_ASSIGN_OR_RETURN(auto model, BuildSmolNet(spec, /*seed=*/29));
+  TrainOptions opts;
+  opts.epochs = BenchEpochs();
+  opts.batch_size = 32;
+  if (condition == TrainCondition::kLowRes) {
+    opts.lowres_target = dataset.spec().thumb_size;
+    opts.lowres_prob = 0.5;
+  }
+  SMOL_RETURN_IF_ERROR(
+      TrainModel(model.get(), dataset.train(), {}, opts).status());
+  // Persist.
+  auto bytes = SaveModel(model.get());
+  if (bytes.ok()) {
+    std::ofstream out(cache_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes->data()),
+              static_cast<std::streamsize>(bytes->size()));
+  }
+  return model;
+}
+
+Result<double> AccuracyViaFormat(Model* model, const ImageDataset& dataset,
+                                 StorageFormat format) {
+  SMOL_ASSIGN_OR_RETURN(LabeledImages via, dataset.TestSetViaFormat(format));
+  return EvaluateModel(model, via);
+}
+
+Result<std::string> PaperArchFor(const std::string& smolnet_arch) {
+  if (smolnet_arch == "smolnet18") return std::string("resnet18");
+  if (smolnet_arch == "smolnet34") return std::string("resnet34");
+  if (smolnet_arch == "smolnet50") return std::string("resnet50");
+  return Status::NotFound("no paper stand-in for " + smolnet_arch);
+}
+
+}  // namespace smol::bench

@@ -1,0 +1,71 @@
+// Shared helpers for the per-table/per-figure benchmark harnesses:
+// plain-text table printing, bench-scale dataset configs, and a trained-model
+// cache so the accuracy benches (Table 7, Figures 4-6) share SGD runs.
+#ifndef SMOL_BENCH_BENCH_COMMON_H_
+#define SMOL_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/datasets.h"
+#include "src/dnn/model.h"
+#include "src/dnn/trainer.h"
+#include "src/util/result.h"
+
+namespace smol::bench {
+
+// --- Table printing ---------------------------------------------------------
+
+/// Prints a boxed title for one experiment.
+void PrintTitle(const std::string& title);
+
+/// Prints one row of fixed-width columns.
+void PrintRow(const std::vector<std::string>& cols, int width = 18);
+
+/// Prints a horizontal separator sized for \p cols columns.
+void PrintRule(int cols, int width = 18);
+
+/// Formats a double with the given precision.
+std::string Fmt(double v, int precision = 1);
+
+/// Formats as a percentage (value in [0, 1]).
+std::string Pct(double v, int precision = 1);
+
+// --- Bench-scale dataset + training configs ---------------------------------
+
+/// Scaled-down dataset spec for CPU-budget benches. Setting SMOL_BENCH_FULL=1
+/// in the environment restores the library defaults (slower, higher
+/// accuracy).
+Result<DatasetSpec> BenchDatasetSpec(const std::string& name);
+
+/// Training conditions the accuracy experiments use.
+enum class TrainCondition {
+  kRegular,      ///< standard augmentation only ("reg train")
+  kLowRes,       ///< + low-resolution augmentation (§5.3, lossless path)
+};
+
+const char* TrainConditionName(TrainCondition condition);
+
+/// Epochs used by the bench-scale training runs.
+int BenchEpochs();
+
+/// Trains (or loads from the on-disk cache) \p arch on \p dataset under
+/// \p condition. The cache lives in .bench_cache/ beside the binary, keyed by
+/// dataset/arch/condition/epoch so benches share runs across processes.
+Result<std::unique_ptr<Model>> TrainOrLoadModel(const ImageDataset& dataset,
+                                                const std::string& arch,
+                                                TrainCondition condition);
+
+/// Per-(arch, format) accuracy: evaluates \p model on the test set as seen
+/// through \p format (encode + decode + upscale thumbnails).
+Result<double> AccuracyViaFormat(Model* model, const ImageDataset& dataset,
+                                 StorageFormat format);
+
+/// Maps SmolNet archs to their paper-scale ResNet stand-ins for modelled
+/// accelerator throughput (SmolNet-50 plays the role of ResNet-50 etc.).
+Result<std::string> PaperArchFor(const std::string& smolnet_arch);
+
+}  // namespace smol::bench
+
+#endif  // SMOL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,54 @@
+// Figure 5: lesion study — individually removing (a) low-resolution data and
+// (b) the preprocessing optimizations from Smol shifts the Pareto frontier
+// down. Accuracy real, throughput from the calibrated model.
+#include <cstdio>
+
+#include "bench/pareto_common.h"
+
+int main() {
+  using namespace smol;
+  using namespace smol::bench;
+  PrintTitle("Figure 5: lesion study (-low-res, -preproc-opt)");
+  bool ok = true;
+  for (const char* name : {"imagenet", "birds-200", "animals-10", "bike-bird"}) {
+    auto spec = BenchDatasetSpec(name);
+    if (!spec.ok()) return 1;
+    auto dataset = ImageDataset::Generate(spec.value());
+    if (!dataset.ok()) return 1;
+    auto inputs = BuildOptimizerInputs(*dataset);
+    if (!inputs.ok()) return 1;
+    std::printf("\n--- %s ---\n", name);
+
+    auto full = SmolOptimizer::ParetoPlans(inputs.value());
+    SmolOptimizer::Inputs no_lowres = inputs.value();
+    no_lowres.toggles.use_low_resolution = false;
+    auto lesion_lowres = SmolOptimizer::ParetoPlans(no_lowres);
+    SmolOptimizer::Inputs no_preproc = inputs.value();
+    no_preproc.toggles.use_preproc_opt = false;
+    auto lesion_preproc = SmolOptimizer::ParetoPlans(no_preproc);
+    if (!full.ok() || !lesion_lowres.ok() || !lesion_preproc.ok()) return 1;
+
+    PrintFrontier("SMOL (all optimizations)", *full);
+    PrintFrontier("-Low res", *lesion_lowres);
+    PrintFrontier("-Preproc opt", *lesion_preproc);
+
+    // The full frontier weakly dominates each lesion at every accuracy on
+    // the lesioned frontier, and strictly improves peak throughput for at
+    // least one lesion.
+    bool strict = false;
+    for (const auto* lesion : {&*lesion_lowres, &*lesion_preproc}) {
+      for (const auto& plan : *lesion) {
+        const double full_at =
+            BestThroughputAtAccuracy(*full, plan.accuracy - 1e-9);
+        if (full_at + 1e-6 < plan.throughput_ims) ok = false;
+        if (full_at > plan.throughput_ims * 1.05) strict = true;
+      }
+    }
+    std::printf("  dominance: %s (strict improvement somewhere: %s)\n",
+                ok ? "holds" : "VIOLATED", strict ? "yes" : "no");
+    ok &= strict;
+  }
+  std::printf("\n%s\n", ok ? "OK: both optimizations matter on every dataset"
+                           : "FAIL: a lesion did not shift the frontier");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Figure 6: factor analysis — starting from the basic configuration and
+// successively adding the preprocessing optimizations, then low-resolution
+// data. Each factor should improve the frontier (the low-res factor most on
+// the harder datasets).
+#include <cstdio>
+
+#include "bench/pareto_common.h"
+
+int main() {
+  using namespace smol;
+  using namespace smol::bench;
+  PrintTitle("Figure 6: factor analysis (basic -> +preproc -> +lowres)");
+  bool ok = true;
+  for (const char* name : {"imagenet", "birds-200", "animals-10", "bike-bird"}) {
+    auto spec = BenchDatasetSpec(name);
+    if (!spec.ok()) return 1;
+    auto dataset = ImageDataset::Generate(spec.value());
+    if (!dataset.ok()) return 1;
+    auto inputs = BuildOptimizerInputs(*dataset);
+    if (!inputs.ok()) return 1;
+    std::printf("\n--- %s ---\n", name);
+
+    SmolOptimizer::Inputs basic = inputs.value();
+    basic.toggles.use_low_resolution = false;
+    basic.toggles.use_preproc_opt = false;
+    SmolOptimizer::Inputs plus_preproc = inputs.value();
+    plus_preproc.toggles.use_low_resolution = false;
+    const SmolOptimizer::Inputs& plus_all = inputs.value();
+
+    auto f_basic = SmolOptimizer::ParetoPlans(basic);
+    auto f_preproc = SmolOptimizer::ParetoPlans(plus_preproc);
+    auto f_all = SmolOptimizer::ParetoPlans(plus_all);
+    if (!f_basic.ok() || !f_preproc.ok() || !f_all.ok()) return 1;
+    PrintFrontier("Basic", *f_basic);
+    PrintFrontier("+Preproc", *f_preproc);
+    PrintFrontier("+Lowres & preproc", *f_all);
+
+    // Peak throughput must be non-decreasing along the factor chain.
+    auto peak = [](const std::vector<QueryPlan>& frontier) {
+      double best = 0;
+      for (const auto& plan : frontier) {
+        best = std::max(best, plan.throughput_ims);
+      }
+      return best;
+    };
+    const double p0 = peak(*f_basic);
+    const double p1 = peak(*f_preproc);
+    const double p2 = peak(*f_all);
+    std::printf("  peak throughput: %.0f -> %.0f -> %.0f im/s\n", p0, p1, p2);
+    ok &= p1 >= p0 - 1e-6 && p2 >= p1 - 1e-6 && p2 > p0 * 1.2;
+  }
+  std::printf("\n%s\n",
+              ok ? "OK: each factor improves the frontier"
+                 : "FAIL: factor chain not monotone");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Table 2: throughput vs top-1 accuracy across the ResNet capacity ladder.
+// Two panels: (a) the paper-scale calibrated numbers; (b) this repo's
+// measured ladder — SmolNet-{18,34,50} really trained on the synthetic
+// imagenet dataset, with modelled T4 throughput for their ResNet stand-ins.
+// The claim under test: deeper models are more accurate and slower, on both
+// scales.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/hw/throughput_model.h"
+#include "src/util/macros.h"
+
+int main() {
+  using namespace smol;
+  using namespace smol::bench;
+  DnnThroughputModel tm;
+
+  PrintTitle("Table 2a: paper-scale ResNet ladder (calibrated model)");
+  PrintRow({"Model", "Throughput (im/s)", "Top-1 acc"});
+  PrintRule(3);
+  for (const auto& ref : DnnThroughputModel::References()) {
+    if (ref.name.rfind("resnet", 0) != 0) continue;
+    const double ims = tm.Throughput(ref.name, GpuModel::kT4).ValueOr(0);
+    PrintRow({ref.name, Fmt(ims, 0), Pct(ref.imagenet_top1, 2)});
+  }
+
+  PrintTitle("Table 2b: measured SmolNet ladder on imagenet-syn");
+  auto spec = BenchDatasetSpec("imagenet");
+  if (!spec.ok()) {
+    std::printf("FAIL: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto dataset = ImageDataset::Generate(spec.value());
+  if (!dataset.ok()) {
+    std::printf("FAIL: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  PrintRow({"Model", "Modeled tput", "Measured acc", "Params"});
+  PrintRule(4);
+  double prev_acc = -1.0;
+  double prev_tput = 0.0;
+  bool ladder_ok = true;
+  for (const char* arch : {"smolnet18", "smolnet34", "smolnet50"}) {
+    auto model = TrainOrLoadModel(*dataset, arch, TrainCondition::kRegular);
+    if (!model.ok()) {
+      std::printf("FAIL: %s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    auto acc = AccuracyViaFormat(model->get(), *dataset,
+                                 StorageFormat::kFullSpng);
+    auto paper_arch = PaperArchFor(arch);
+    const double tput =
+        tm.Throughput(paper_arch.ValueOr("resnet50"), GpuModel::kT4)
+            .ValueOr(0);
+    PrintRow({arch, Fmt(tput, 0), Pct(acc.ValueOr(0), 1),
+              std::to_string((*model)->NumParams())});
+    // Throughput must fall along the ladder; accuracy should rise (allow a
+    // couple of points of bench-scale training noise).
+    if (prev_tput > 0 && tput >= prev_tput) ladder_ok = false;
+    if (acc.ValueOr(0) < prev_acc - 0.02) ladder_ok = false;
+    prev_tput = tput;
+    prev_acc = acc.ValueOr(0);
+  }
+  PrintRule(4);
+  std::printf(ladder_ok
+                  ? "OK: capacity ladder trades throughput for accuracy\n"
+                  : "FAIL: ladder ordering violated\n");
+  return ladder_ok ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+// Table 3: cost-model accuracy in three regimes (balanced / preproc-bound /
+// DNN-bound).
+//
+// This is a REAL pipelining measurement, not a simulation of the table: the
+// engine runs calibrated busy-work producers (controlled per-image CPU cost)
+// against the simulated accelerator (controlled service rate), measures the
+// pipelined end-to-end throughput, and scores the three estimators — Smol's
+// min (Eq. 4), BlazeIt's DNN-only (Eq. 2), Tahoma's harmonic sum (Eq. 3) —
+// against the measurement. The claim under test: Smol's min model matches or
+// ties the best estimate in every regime, and its average error is far below
+// the alternatives (§8.2: 5.9% vs 217% / 23%).
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/core/cost_model.h"
+#include "src/hw/sim_accelerator.h"
+#include "src/util/mpmc_queue.h"
+#include "src/util/stopwatch.h"
+
+namespace {
+
+using namespace smol;
+
+struct Regime {
+  const char* name;
+  double preproc_us;   // per-image producer busy-work
+  double dnn_ims;      // accelerator service rate
+};
+
+struct Measurement {
+  double preproc_ims;   // producers alone
+  double dnn_ims;       // accelerator alone (configured)
+  double pipelined_ims; // end-to-end
+};
+
+// Runs `count` images through a producer/consumer pipeline: producers spin
+// for preproc_us per image, consumers batch 16 into the accelerator.
+Measurement RunRegime(const Regime& regime, int count, int producers) {
+  Measurement m;
+  // Producers alone.
+  {
+    Stopwatch sw;
+    std::vector<std::thread> threads;
+    std::atomic<int> next{0};
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&] {
+        while (next.fetch_add(1) < count) BusyWorkMicros(regime.preproc_us);
+      });
+    }
+    for (auto& t : threads) t.join();
+    m.preproc_ims = count / sw.ElapsedSeconds();
+  }
+  m.dnn_ims = regime.dnn_ims;
+  // Pipelined.
+  {
+    SimAccelerator::Options aopts;
+    aopts.dnn_throughput_ims = regime.dnn_ims;
+    SimAccelerator accel(aopts);
+    MpmcQueue<int> queue(64);
+    std::atomic<int> next{0};
+    Stopwatch sw;
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&] {
+        while (next.fetch_add(1) < count) {
+          BusyWorkMicros(regime.preproc_us);
+          if (!queue.Push(1)) return;
+        }
+      });
+    }
+    // Two consumers emulate CUDA streams: one assembles the next batch while
+    // the other waits out the device's service time.
+    auto consume = [&] {
+      int batch = 0;
+      while (queue.Pop().has_value()) {
+        if (++batch == 16) {
+          accel.ExecuteBatch(16, 16 * 64 * 64 * 3 * 4, true);
+          batch = 0;
+        }
+      }
+      if (batch > 0) accel.ExecuteBatch(batch, batch * 64 * 64 * 3 * 4, true);
+    };
+    std::thread consumer1(consume);
+    std::thread consumer2(consume);
+    for (auto& t : threads) t.join();
+    queue.Close();
+    consumer1.join();
+    consumer2.join();
+    m.pipelined_ims = count / sw.ElapsedSeconds();
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace smol::bench;
+  BusyWorkCalibration();  // warm the spin calibration
+
+  // One producer: on this small host the consumer thread must keep a core of
+  // its own for the pipelining assumption to hold (the paper's instance
+  // similarly leaves the accelerator-facing thread unstarved). Single-thread
+  // preprocessing throughput = 1e6 / preproc_us im/s.
+  const Regime regimes[] = {
+      {"Balanced", 420.0, 4000.0},       // preproc ~ DNN
+      {"Preproc-bound", 1900.0, 5000.0}, // preproc far below DNN
+      {"DNN-bound", 350.0, 1500.0},      // DNN far below preproc
+  };
+
+  PrintTitle("Table 3: cost-model error under three regimes (measured)");
+  PrintRow({"Config", "Preproc", "DNN", "Pipelined", "Smol est",
+            "BlazeIt est", "Tahoma est"},
+           13);
+  PrintRule(7, 13);
+
+  double err_sum[3] = {0, 0, 0};
+  bool smol_best_or_tied = true;
+  for (const Regime& regime : regimes) {
+    const Measurement m = RunRegime(regime, 8000, 1);
+    CostModelInputs inputs;
+    inputs.preproc_throughput_ims = m.preproc_ims;
+    inputs.cascade = {{"dnn", m.dnn_ims, 1.0}};
+    double est[3], err[3];
+    const CostModelKind kinds[] = {CostModelKind::kSmolMin,
+                                   CostModelKind::kBlazeItDnnOnly,
+                                   CostModelKind::kTahomaSum};
+    for (int k = 0; k < 3; ++k) {
+      est[k] = CostModel::Estimate(kinds[k], inputs).ValueOr(0);
+      err[k] = CostModel::PercentError(est[k], m.pipelined_ims);
+      err_sum[k] += err[k];
+    }
+    PrintRow({regime.name, Fmt(m.preproc_ims, 0), Fmt(m.dnn_ims, 0),
+              Fmt(m.pipelined_ims, 0),
+              Fmt(err[0], 1) + "% " + Fmt(est[0], 0),
+              Fmt(err[1], 1) + "% " + Fmt(est[1], 0),
+              Fmt(err[2], 1) + "% " + Fmt(est[2], 0)},
+             13);
+    // Smol must match or tie the best estimate (tolerance for timing noise).
+    const double best = std::min({err[0], err[1], err[2]});
+    if (err[0] > best + 6.0) smol_best_or_tied = false;
+  }
+  PrintRule(7, 13);
+  std::printf("Average error: Smol(min) %.1f%%  BlazeIt(dnn-only) %.1f%%  "
+              "Tahoma(sum) %.1f%%   (paper: 5.9%% / 217%% / 23%%)\n",
+              err_sum[0] / 3, err_sum[1] / 3, err_sum[2] / 3);
+  const bool ranking_ok =
+      err_sum[0] < err_sum[1] && err_sum[0] < err_sum[2];
+  std::printf("%s: min model is the most accurate on average; %s: min model "
+              "matches/ties the best in every regime\n",
+              ranking_ok ? "OK" : "FAIL",
+              smol_best_or_tied ? "OK" : "FAIL");
+  return (ranking_ok && smol_best_or_tied) ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// Table 5: ResNet-50 throughput across GPU generations (K80 -> RTX).
+// The claim under test: accelerator throughput improved by >94x, which is
+// what flipped the end-to-end bottleneck to preprocessing.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/hw/device.h"
+#include "src/hw/throughput_model.h"
+
+int main() {
+  using namespace smol;
+  using namespace smol::bench;
+  PrintTitle("Table 5: ResNet-50 throughput by GPU generation");
+  PrintRow({"GPU", "Release", "Throughput (im/s)"});
+  PrintRule(3);
+  double k80 = 0, best = 0;
+  for (const auto& spec : AllGpuSpecs()) {
+    PrintRow({spec.name, std::to_string(spec.release_year),
+              Fmt(spec.resnet50_throughput, 0)});
+    if (spec.model == GpuModel::kK80) k80 = spec.resnet50_throughput;
+    best = std::max(best, spec.resnet50_throughput);
+  }
+  PrintRule(3);
+  const double preproc =
+      PreprocThroughputModel::Throughput(PreprocFormat::kFullResJpeg, 4);
+  std::printf("K80 -> best improvement: %.0fx (paper: >94x)\n", best / k80);
+  std::printf("CPU preprocessing on 4 vCPUs: %.0f im/s -> bottleneck flip on "
+              "T4-class hardware\n",
+              preproc);
+  const bool ok = best / k80 > 94.0 && preproc < 4513.0;
+  std::printf("%s\n", ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}

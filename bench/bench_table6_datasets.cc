@@ -1,0 +1,52 @@
+// Table 6: dataset statistics for the image evaluation datasets.
+// Generates each synthetic dataset and reports its composition, plus the
+// stored sizes of the format variants the F axis enumerates.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/macros.h"
+
+int main() {
+  using namespace smol;
+  using namespace smol::bench;
+  PrintTitle("Table 6: image dataset statistics (bench scale)");
+  PrintRow({"Dataset", "Classes", "Train", "Test", "Full px", "Thumb px"},
+           12);
+  PrintRule(6, 12);
+  for (const auto& base : ImageDatasetSpecs()) {
+    auto spec = BenchDatasetSpec(base.name);
+    if (!spec.ok()) return 1;
+    PrintRow({spec->name, std::to_string(spec->num_classes),
+              std::to_string(spec->train_size), std::to_string(spec->test_size),
+              std::to_string(spec->full_width) + "x" +
+                  std::to_string(spec->full_height),
+              std::to_string(spec->thumb_size)},
+             12);
+  }
+  std::printf("\nStored bytes per image (bike-bird test set):\n");
+  auto spec = BenchDatasetSpec("bike-bird");
+  if (!spec.ok()) return 1;
+  spec->test_size = 32;
+  auto ds = ImageDataset::Generate(spec.value());
+  if (!ds.ok()) return 1;
+  PrintRow({"Format", "Bytes/image"}, 22);
+  PrintRule(2, 22);
+  size_t full = 0, thumb = 0;
+  for (StorageFormat fmt :
+       {StorageFormat::kFullSpng, StorageFormat::kFullSjpg,
+        StorageFormat::kThumbSpng, StorageFormat::kThumbSjpgQ95,
+        StorageFormat::kThumbSjpgQ75}) {
+    auto stored = ds->EncodeTestSet(fmt);
+    if (!stored.ok()) return 1;
+    size_t total = 0;
+    for (const auto& s : *stored) total += s.bytes.size();
+    const size_t per = total / stored->size();
+    if (fmt == StorageFormat::kFullSpng) full = per;
+    if (fmt == StorageFormat::kThumbSjpgQ75) thumb = per;
+    PrintRow({StorageFormatName(fmt), std::to_string(per)}, 22);
+  }
+  const bool ok = thumb < full;
+  std::printf("%s: thumbnails are smaller than full resolution (%zu < %zu)\n",
+              ok ? "OK" : "FAIL", thumb, full);
+  return ok ? 0 : 1;
+}

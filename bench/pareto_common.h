@@ -1,0 +1,109 @@
+// Shared machinery for the Figure 4/5/6 Pareto benches: builds the
+// SmolOptimizer inputs for a dataset from really-trained SmolNets (accuracy
+// measured through the real codecs) plus the calibrated throughput models.
+#ifndef SMOL_BENCH_PARETO_COMMON_H_
+#define SMOL_BENCH_PARETO_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/optimizer.h"
+#include "src/hw/throughput_model.h"
+#include "src/util/macros.h"
+
+namespace smol::bench {
+
+/// All five storage formats in StorageFormat order.
+inline const std::vector<StorageFormat>& AllFormats() {
+  static const std::vector<StorageFormat> kFormats = {
+      StorageFormat::kFullSpng, StorageFormat::kFullSjpg,
+      StorageFormat::kThumbSpng, StorageFormat::kThumbSjpgQ95,
+      StorageFormat::kThumbSjpgQ75};
+  return kFormats;
+}
+
+/// Modeled preprocessing throughput for a storage format on the reference
+/// 4-vCPU instance (paper-scale, from the calibrated model).
+inline double FormatPreprocIms(StorageFormat format) {
+  switch (format) {
+    case StorageFormat::kFullSpng:
+    case StorageFormat::kFullSjpg:
+      return PreprocThroughputModel::Throughput(PreprocFormat::kFullResJpeg,
+                                                4);
+    case StorageFormat::kThumbSpng:
+      return PreprocThroughputModel::Throughput(PreprocFormat::kThumbnailPng,
+                                                4);
+    case StorageFormat::kThumbSjpgQ95:
+      // q95 thumbnails decode a bit slower than q75 (more coefficients).
+      return PreprocThroughputModel::Throughput(PreprocFormat::kThumbnailJpeg,
+                                                4) *
+             0.75;
+    case StorageFormat::kThumbSjpgQ75:
+      return PreprocThroughputModel::Throughput(PreprocFormat::kThumbnailJpeg,
+                                                4);
+  }
+  return 500.0;
+}
+
+/// Builds optimizer inputs for one dataset: three SmolNet rungs, each with
+/// per-format accuracy measured from a real trained model (reg-trained for
+/// full-res formats, low-res-augmented for thumbnails, as §5.3 prescribes).
+inline Result<SmolOptimizer::Inputs> BuildOptimizerInputs(
+    const ImageDataset& dataset) {
+  SmolOptimizer::Inputs inputs;
+  DnnThroughputModel tm;
+  for (const char* arch : {"smolnet18", "smolnet34", "smolnet50"}) {
+    SMOL_ASSIGN_OR_RETURN(auto reg_model,
+                          TrainOrLoadModel(dataset, arch,
+                                           TrainCondition::kRegular));
+    SMOL_ASSIGN_OR_RETURN(auto lowres_model,
+                          TrainOrLoadModel(dataset, arch,
+                                           TrainCondition::kLowRes));
+    CandidateModel candidate;
+    candidate.name = arch;
+    SMOL_ASSIGN_OR_RETURN(std::string paper_arch, PaperArchFor(arch));
+    SMOL_ASSIGN_OR_RETURN(candidate.exec_throughput_ims,
+                          tm.Throughput(paper_arch, GpuModel::kT4));
+    candidate.accuracy_by_format.resize(AllFormats().size());
+    for (StorageFormat fmt : AllFormats()) {
+      Model* model =
+          IsThumbnail(fmt) ? lowres_model.get() : reg_model.get();
+      SMOL_ASSIGN_OR_RETURN(double acc,
+                            AccuracyViaFormat(model, dataset, fmt));
+      candidate.accuracy_by_format[static_cast<int>(fmt)] = acc;
+    }
+    inputs.models.push_back(std::move(candidate));
+  }
+  for (StorageFormat fmt : AllFormats()) {
+    inputs.formats.push_back({fmt, FormatPreprocIms(fmt)});
+  }
+  return inputs;
+}
+
+/// Prints a Pareto frontier as (throughput, accuracy) rows.
+inline void PrintFrontier(const std::string& label,
+                          const std::vector<QueryPlan>& frontier) {
+  std::printf("  %s frontier:\n", label.c_str());
+  for (const auto& plan : frontier) {
+    std::printf("    %8.0f im/s  %6.2f%%   %s @ %s\n", plan.throughput_ims,
+                plan.accuracy * 100.0, plan.model_name.c_str(),
+                StorageFormatName(plan.format));
+  }
+}
+
+/// Best throughput on \p frontier subject to an accuracy floor; 0 if none.
+inline double BestThroughputAtAccuracy(const std::vector<QueryPlan>& frontier,
+                                       double min_accuracy) {
+  double best = 0.0;
+  for (const auto& plan : frontier) {
+    if (plan.accuracy >= min_accuracy) {
+      best = std::max(best, plan.throughput_ims);
+    }
+  }
+  return best;
+}
+
+}  // namespace smol::bench
+
+#endif  // SMOL_BENCH_PARETO_COMMON_H_

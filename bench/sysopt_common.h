@@ -1,0 +1,89 @@
+// Shared machinery for the Figure 7/8 systems-optimization benches: runs the
+// REAL engine (real SJPG decode, real preprocessing, simulated accelerator)
+// over an encoded image set under a given set of engine toggles and reports
+// measured wall-clock throughput.
+#ifndef SMOL_BENCH_SYSOPT_COMMON_H_
+#define SMOL_BENCH_SYSOPT_COMMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/codec/sjpg.h"
+#include "src/data/synth_image.h"
+#include "src/runtime/engine.h"
+
+namespace smol::bench {
+
+/// Encoded workload: images at one resolution, SJPG-compressed.
+struct SysoptWorkload {
+  std::vector<std::vector<uint8_t>> encoded;
+  std::vector<WorkItem> items;
+  PipelineSpec spec;
+};
+
+/// Builds a workload of \p count SJPG images at \p size x \p size, with the
+/// standard resize/crop pipeline scaled to the resolution.
+inline SysoptWorkload MakeSysoptWorkload(int count, int size,
+                                         uint64_t seed = 900) {
+  SysoptWorkload w;
+  SynthImageOptions opts;
+  opts.width = size;
+  opts.height = size;
+  opts.num_classes = 8;
+  opts.seed = seed;
+  SynthImageGenerator gen(opts);
+  for (int i = 0; i < count; ++i) {
+    auto bytes = SjpgEncode(gen.Generate(i % 8, i), {.quality = 85});
+    w.encoded.push_back(std::move(bytes).MoveValue());
+  }
+  for (auto& bytes : w.encoded) {
+    WorkItem item;
+    item.bytes = &bytes;
+    w.items.push_back(item);
+  }
+  w.spec.input_width = size;
+  w.spec.input_height = size;
+  w.spec.resize_short_side = size * 3 / 4;
+  w.spec.crop_width = size * 2 / 3;
+  w.spec.crop_height = size * 2 / 3;
+  return w;
+}
+
+/// Runs the engine once and returns measured throughput (im/s).
+inline double RunSysoptOnce(const SysoptWorkload& workload,
+                            EngineOptions options) {
+  SimAccelerator::Options aopts;
+  // Fast accelerator: the run is preprocessing-bound, so the CPU-side
+  // optimizations under study are what the measurement sees.
+  aopts.dnn_throughput_ims = 200000.0;
+  // One consumer is plenty (it mostly sleeps in the simulator) and keeps the
+  // thread count at producers+1 so producers are not descheduled.
+  options.num_consumers = 1;
+  auto accel = std::make_shared<SimAccelerator>(aopts);
+  Engine engine(options, workload.spec,
+                [](const WorkItem& item) { return SjpgDecode(*item.bytes); },
+                accel);
+  auto stats = engine.Run(workload.items);
+  return stats.ok() ? stats->throughput_ims : 0.0;
+}
+
+/// Measures a set of engine configurations round-robin over several rounds
+/// and reports each configuration's best round. Interleaving makes host
+/// drift (VM steal, frequency scaling) hit every configuration equally —
+/// essential on small shared machines.
+inline std::vector<double> MeasureConfigs(
+    const SysoptWorkload& workload, const std::vector<EngineOptions>& configs,
+    int rounds = 4) {
+  std::vector<double> best(configs.size(), 0.0);
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      best[i] = std::max(best[i], RunSysoptOnce(workload, configs[i]));
+    }
+  }
+  return best;
+}
+
+}  // namespace smol::bench
+
+#endif  // SMOL_BENCH_SYSOPT_COMMON_H_

@@ -1,0 +1,80 @@
+// Plan explorer: walks the optimizer's D x F plan space on paper-scale
+// calibration numbers and prints every plan, the Pareto frontier, the effect
+// of each toggle, and the operator-placement decisions — a console version of
+// the paper's Figure 2 flow.
+#include <cstdio>
+
+#include "src/core/optimizer.h"
+#include "src/hw/throughput_model.h"
+#include "src/preproc/placement.h"
+#include "src/util/macros.h"
+
+using namespace smol;
+
+int main() {
+  // Candidate DNNs with Table 2 throughputs and representative per-format
+  // accuracy (full-res / thumbnails profile like Table 7's imagenet rows).
+  SmolOptimizer::Inputs inputs;
+  inputs.models = {
+      {"resnet18", 12592.0, {0.682, 0.680, 0.675, 0.660, 0.610}},
+      {"resnet34", 6860.0, {0.719, 0.717, 0.716, 0.698, 0.625}},
+      {"resnet50", 4513.0, {0.7434, 0.7410, 0.7500, 0.7194, 0.6323}},
+  };
+  inputs.formats = {
+      {StorageFormat::kFullSpng, 534.0},
+      {StorageFormat::kThumbSpng, 1995.0},
+      {StorageFormat::kThumbSjpgQ95, 4400.0},
+      {StorageFormat::kThumbSjpgQ75, 5900.0},
+  };
+
+  auto plans = SmolOptimizer::GeneratePlans(inputs);
+  SMOL_CHECK_OK(plans.status());
+  std::printf("All %zu plans in D x F:\n", plans->size());
+  for (const auto& plan : *plans) {
+    std::printf("  %-44s %8.0f im/s  %6.2f%%  (preproc %.0f, exec %.0f, "
+                "%d ops on accel)\n",
+                plan.ToString().c_str(), plan.throughput_ims,
+                plan.accuracy * 100, plan.preproc_ims, plan.exec_ims,
+                plan.stages_on_accelerator);
+  }
+
+  auto frontier = SmolOptimizer::ParetoPlans(inputs);
+  SMOL_CHECK_OK(frontier.status());
+  std::printf("\nPareto frontier (%zu plans):\n", frontier->size());
+  for (const auto& plan : *frontier) {
+    std::printf("  %8.0f im/s  %6.2f%%  %s @ %s\n", plan.throughput_ims,
+                plan.accuracy * 100, plan.model_name.c_str(),
+                StorageFormatName(plan.format));
+  }
+
+  std::printf("\nConstraint demos:\n");
+  PlanConstraints tput_floor;
+  tput_floor.min_throughput_ims = 4000.0;
+  auto best_acc = SmolOptimizer::SelectPlan(inputs, tput_floor);
+  SMOL_CHECK_OK(best_acc.status());
+  std::printf("  >= 4000 im/s  -> most accurate: %s\n",
+              best_acc->ToString().c_str());
+  PlanConstraints acc_floor;
+  acc_floor.min_accuracy = 0.74;
+  auto best_tput = SmolOptimizer::SelectPlan(inputs, acc_floor);
+  SMOL_CHECK_OK(best_tput.status());
+  std::printf("  >= 74%% acc    -> fastest: %s\n",
+              best_tput->ToString().c_str());
+  PlanConstraints impossible;
+  impossible.min_accuracy = 0.99;
+  auto infeasible = SmolOptimizer::SelectPlan(inputs, impossible);
+  std::printf("  >= 99%% acc    -> %s\n",
+              infeasible.ok() ? infeasible->ToString().c_str()
+                              : infeasible.status().ToString().c_str());
+
+  std::printf("\nOperator placement (§6.3) across DNN speeds, full-res JPEG:\n");
+  for (double dnn : {400.0, 4513.0, 12592.0, 100000.0}) {
+    PlacementOptimizer::Inputs pin;
+    pin.dnn_throughput = dnn;
+    auto placement = PlacementOptimizer::Choose(pin);
+    SMOL_CHECK_OK(placement.status());
+    std::printf("  DNN %6.0f im/s -> %s\n", dnn,
+                placement->ToString().c_str());
+  }
+  return 0;
+}

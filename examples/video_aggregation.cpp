@@ -1,0 +1,99 @@
+// Video aggregation end to end: the §3.2 "aggregation example" (BlazeIt-style
+// deployment). Generates a traffic video, encodes it with the SV264 codec at
+// two resolutions, and answers "how many cars per frame, +/- epsilon?" with
+// the control-variate estimator — comparing the full-resolution pipeline
+// against Smol's low-resolution pipeline.
+#include <cstdio>
+
+#include "src/analytics/blazeit.h"
+#include "src/codec/sv264.h"
+#include "src/data/synth_video.h"
+#include "src/dnn/trainer.h"
+#include "src/util/macros.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+
+using namespace smol;
+
+namespace {
+
+// A stand-in specialized NN: a pixel-statistics car counter over a decoded
+// frame (object pixels are red-dominant in the synthetic scenes).
+double ProxyCount(const Image& frame) {
+  int64_t hits = 0;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      const int r = frame.at(x, y, 0);
+      if (r > 110 && r > frame.at(x, y, 1) + 35 && r > frame.at(x, y, 2) + 35) {
+        ++hits;
+      }
+    }
+  }
+  return static_cast<double>(hits) /
+         (frame.width() * frame.height() * 0.008 + 1.0);
+}
+
+}  // namespace
+
+int main() {
+  // --- Generate and encode the video at two resolutions. -------------------
+  auto spec = FindVideoDataset("amsterdam").MoveValue();
+  spec.num_frames = 300;
+  auto video = GenerateVideo(spec);
+  SMOL_CHECK_OK(video.status());
+  std::printf("Video: %s, %d frames, true mean %.2f cars/frame\n",
+              spec.name.c_str(), spec.num_frames, video->MeanCount());
+
+  auto full = Sv264Encode(video->frames, {.quality = 80, .gop = 30});
+  SMOL_CHECK_OK(full.status());
+  std::vector<Image> low_frames;
+  for (const Image& f : video->frames) {
+    low_frames.push_back(ResizeBilinear(f, spec.low_width, spec.low_height));
+  }
+  auto low = Sv264Encode(low_frames, {.quality = 80, .gop = 30});
+  SMOL_CHECK_OK(low.status());
+  std::printf("Encoded: full-res %zu KB, low-res %zu KB\n", full->size() / 1024,
+              low->size() / 1024);
+
+  // --- Answer the aggregation query with each pipeline. --------------------
+  constexpr double kTargetSecondsPerFrame = 0.25;  // Mask R-CNN-class oracle
+  for (const auto& [label, bytes] :
+       {std::pair<const char*, const std::vector<uint8_t>*>{"full-res",
+                                                            &*full},
+        std::pair<const char*, const std::vector<uint8_t>*>{"low-res (Smol)",
+                                                            &*low}}) {
+    auto decoder = Sv264Decoder::Open(*bytes);
+    SMOL_CHECK_OK(decoder.status());
+    Stopwatch sw;
+    std::vector<double> proxy;
+    for (int i = 0; i < (*decoder)->num_frames(); ++i) {
+      auto frame = (*decoder)->DecodeNext();
+      SMOL_CHECK_OK(frame.status());
+      proxy.push_back(ProxyCount(*frame));
+    }
+    const double decode_s = sw.ElapsedSeconds();
+
+    AggregationQuery query;
+    // Absolute error sized to the scene's ~1.7 cars/frame scale so the CI
+    // stopping rule binds before the sampler exhausts the video.
+    query.error_target = 0.2;
+    query.min_samples = 24;
+    auto result = ControlVariateEstimator::Run(
+        query, static_cast<int64_t>(proxy.size()), proxy, [&](int64_t f) {
+          return static_cast<double>(
+              video->object_counts[static_cast<size_t>(f)]);
+        });
+    SMOL_CHECK_OK(result.status());
+    const double total_s =
+        decode_s + result->target_invocations * kTargetSecondsPerFrame;
+    std::printf(
+        "%-16s estimate %.2f (truth %.2f), CI +/-%.3f, %lld oracle calls, "
+        "decode %.2fs => query time %.1fs\n",
+        label, result->estimate, video->MeanCount(), result->ci_half_width,
+        static_cast<long long>(result->target_invocations), decode_s, total_s);
+  }
+  std::printf("Low-resolution decoding cuts the preprocessing share of the "
+              "query while the control variate bounds the error — the §8.4 "
+              "recipe.\n");
+  return 0;
+}

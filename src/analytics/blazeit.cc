@@ -1,0 +1,113 @@
+#include "src/analytics/blazeit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/macros.h"
+
+namespace smol {
+
+double ControlVariateEstimator::ZScore(double confidence) {
+  // Coarse inverse-normal lookup adequate for the standard levels.
+  if (confidence >= 0.995) return 2.807;
+  if (confidence >= 0.99) return 2.576;
+  if (confidence >= 0.975) return 2.241;
+  if (confidence >= 0.95) return 1.960;
+  if (confidence >= 0.90) return 1.645;
+  return 1.282;
+}
+
+namespace {
+
+struct RunningMoments {
+  int64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void Add(double x) {
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+  }
+  double Variance() const {
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+  }
+};
+
+// Common sampling loop: estimates the mean of `draw(frame)` over all frames.
+Result<AggregationResult> SampleLoop(
+    const AggregationQuery& query, int64_t num_frames,
+    const std::function<double(int64_t)>& draw, double offset) {
+  if (num_frames <= 0) return Status::InvalidArgument("no frames");
+  if (query.error_target <= 0.0) {
+    return Status::InvalidArgument("non-positive error target");
+  }
+  // Random permutation => sampling without replacement.
+  std::vector<int64_t> order(static_cast<size_t>(num_frames));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(query.seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+  const double z = ControlVariateEstimator::ZScore(query.confidence);
+  const int64_t max_samples = std::max<int64_t>(
+      query.min_samples,
+      static_cast<int64_t>(query.max_sample_fraction *
+                           static_cast<double>(num_frames)));
+  RunningMoments moments;
+  AggregationResult result;
+  for (int64_t i = 0; i < num_frames && i < max_samples; ++i) {
+    moments.Add(draw(order[static_cast<size_t>(i)]));
+    result.target_invocations++;
+    if (moments.n >= query.min_samples) {
+      const double half =
+          z * std::sqrt(moments.Variance() / static_cast<double>(moments.n));
+      if (half <= query.error_target) break;
+    }
+  }
+  result.estimate = moments.mean + offset;
+  result.ci_half_width =
+      moments.n > 1
+          ? z * std::sqrt(moments.Variance() / static_cast<double>(moments.n))
+          : 0.0;
+  return result;
+}
+
+}  // namespace
+
+Result<AggregationResult> ControlVariateEstimator::Run(
+    const AggregationQuery& query, int64_t num_frames,
+    const std::vector<double>& specialized_values,
+    const std::function<double(int64_t)>& target_fn) {
+  if (static_cast<int64_t>(specialized_values.size()) != num_frames) {
+    return Status::InvalidArgument("specialized values size mismatch");
+  }
+  // The specialized NN's exact mean over all frames (one cheap full pass).
+  const double proxy_mean =
+      num_frames > 0
+          ? std::accumulate(specialized_values.begin(),
+                            specialized_values.end(), 0.0) /
+                static_cast<double>(num_frames)
+          : 0.0;
+  // Estimate E[target - proxy] by sampling; add back the exact proxy mean.
+  auto residual = [&](int64_t frame) {
+    return target_fn(frame) - specialized_values[static_cast<size_t>(frame)];
+  };
+  SMOL_ASSIGN_OR_RETURN(AggregationResult result,
+                        SampleLoop(query, num_frames, residual, proxy_mean));
+  result.specialized_invocations = num_frames;
+  return result;
+}
+
+Result<AggregationResult> ControlVariateEstimator::RunPlain(
+    const AggregationQuery& query, int64_t num_frames,
+    const std::function<double(int64_t)>& target_fn) {
+  SMOL_ASSIGN_OR_RETURN(AggregationResult result,
+                        SampleLoop(query, num_frames, target_fn, 0.0));
+  result.specialized_invocations = 0;
+  return result;
+}
+
+}  // namespace smol

@@ -1,0 +1,68 @@
+// BlazeIt-style aggregation queries over video (§3.2 aggregation example).
+//
+// Query: "mean number of target objects per frame, within +/- epsilon with
+// confidence delta". The estimator samples frames, invokes the expensive
+// target model on sampled frames, and uses a cheap specialized NN evaluated
+// on EVERY frame as a control variate: the specialized NN's mean is known
+// exactly, so the target model only needs to estimate the (low-variance)
+// residual. Better specialized NNs => lower residual variance => fewer
+// expensive target-model invocations (the §8.4 effect).
+#ifndef SMOL_ANALYTICS_BLAZEIT_H_
+#define SMOL_ANALYTICS_BLAZEIT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace smol {
+
+/// \brief Inputs to one aggregation query.
+struct AggregationQuery {
+  /// Target accuracy: half-width of the confidence interval (absolute).
+  double error_target = 0.02;
+  /// Confidence level (e.g. 0.95).
+  double confidence = 0.95;
+  /// Minimum samples before the stopping rule may fire.
+  int min_samples = 64;
+  /// Sampling step cap: at most this fraction of frames is sampled.
+  double max_sample_fraction = 1.0;
+  uint64_t seed = 7;
+};
+
+/// \brief Result of an aggregation query.
+struct AggregationResult {
+  double estimate = 0.0;          ///< estimated mean objects/frame
+  double ci_half_width = 0.0;     ///< achieved confidence half-width
+  int64_t target_invocations = 0; ///< expensive model calls
+  int64_t specialized_invocations = 0;
+  double variance_reduction = 1.0;  ///< var(plain) / var(control variate)
+};
+
+/// \brief Control-variate mean estimator over per-frame values.
+///
+/// \p target_fn returns the expensive model's count for a frame (invoked only
+/// on sampled frames). \p specialized_values holds the cheap proxy value for
+/// every frame (computed in one streaming pass by the caller).
+class ControlVariateEstimator {
+ public:
+  /// Runs the query. Sampling is without replacement in random order; the
+  /// stopping rule is the standard CLT interval on the residual stream.
+  static Result<AggregationResult> Run(
+      const AggregationQuery& query, int64_t num_frames,
+      const std::vector<double>& specialized_values,
+      const std::function<double(int64_t)>& target_fn);
+
+  /// Plain sampling baseline (no control variate), for comparison.
+  static Result<AggregationResult> RunPlain(
+      const AggregationQuery& query, int64_t num_frames,
+      const std::function<double(int64_t)>& target_fn);
+
+  /// Normal-quantile helper (two-sided) for the confidence level.
+  static double ZScore(double confidence);
+};
+
+}  // namespace smol
+
+#endif  // SMOL_ANALYTICS_BLAZEIT_H_

@@ -1,0 +1,119 @@
+#include "src/analytics/tahoma.h"
+
+#include <algorithm>
+
+#include "src/core/cost_model.h"
+#include "src/util/macros.h"
+
+namespace smol {
+
+Cascade::Cascade(Model* specialized, Model* target,
+                 double confidence_threshold)
+    : specialized_(specialized),
+      target_(target),
+      threshold_(confidence_threshold) {}
+
+Result<std::vector<int>> Cascade::Classify(const Tensor& inputs) {
+  if (specialized_ == nullptr || target_ == nullptr) {
+    return Status::InvalidArgument("null cascade stage");
+  }
+  SMOL_ASSIGN_OR_RETURN(Tensor logits,
+                        specialized_->Forward(inputs, /*training=*/false));
+  SMOL_ASSIGN_OR_RETURN(Tensor probs,
+                        SoftmaxCrossEntropy::Probabilities(logits));
+  const int batch = logits.dim(0);
+  const int classes = logits.dim(1);
+  std::vector<int> preds(batch, -1);
+  std::vector<int> forwarded;
+  for (int n = 0; n < batch; ++n) {
+    const float* row = probs.data() + static_cast<size_t>(n) * classes;
+    int best = 0;
+    for (int c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    if (row[best] >= threshold_) {
+      preds[n] = best;  // confident: answered by the specialized NN
+    } else {
+      forwarded.push_back(n);
+    }
+  }
+  last_pass_through_ =
+      batch > 0 ? static_cast<double>(forwarded.size()) / batch : 0.0;
+  if (!forwarded.empty()) {
+    // Re-batch the uncertain inputs for the target model.
+    const int c = inputs.dim(1);
+    const int h = inputs.dim(2);
+    const int w = inputs.dim(3);
+    Tensor fwd({static_cast<int>(forwarded.size()), c, h, w});
+    const size_t sample = static_cast<size_t>(c) * h * w;
+    for (size_t i = 0; i < forwarded.size(); ++i) {
+      std::copy(inputs.data() + forwarded[i] * sample,
+                inputs.data() + (forwarded[i] + 1) * sample,
+                fwd.data() + i * sample);
+    }
+    SMOL_ASSIGN_OR_RETURN(std::vector<int> target_preds,
+                          target_->Predict(fwd));
+    for (size_t i = 0; i < forwarded.size(); ++i) {
+      preds[forwarded[i]] = target_preds[i];
+    }
+  }
+  return preds;
+}
+
+Result<Cascade::CalibrationResult> Cascade::Calibrate(
+    const LabeledImages& validation, const Normalization& norm) {
+  if (validation.size() == 0) {
+    return Status::InvalidArgument("empty validation set");
+  }
+  CalibrationResult result;
+  int correct = 0;
+  double pass_sum = 0.0;
+  int batches = 0;
+  constexpr int kBatch = 64;
+  for (size_t begin = 0; begin < validation.size(); begin += kBatch) {
+    const size_t end = std::min(begin + kBatch, validation.size());
+    std::vector<const Image*> ptrs;
+    for (size_t i = begin; i < end; ++i) {
+      ptrs.push_back(&validation.images[i]);
+    }
+    SMOL_ASSIGN_OR_RETURN(Tensor inputs, ImagesToTensor(ptrs, norm));
+    SMOL_ASSIGN_OR_RETURN(std::vector<int> preds, Classify(inputs));
+    for (size_t i = begin; i < end; ++i) {
+      if (preds[i - begin] == validation.labels[i]) ++correct;
+    }
+    pass_sum += last_pass_through_;
+    ++batches;
+  }
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(validation.size());
+  result.pass_through_rate = batches > 0 ? pass_sum / batches : 0.0;
+  return result;
+}
+
+double CascadeOperatingPoint::EstimatedThroughput(double preproc_ims,
+                                                  double specialized_ims,
+                                                  double target_ims,
+                                                  bool pipelined) const {
+  CostModelInputs inputs;
+  inputs.preproc_throughput_ims = preproc_ims;
+  inputs.cascade = {{"specialized", specialized_ims, pass_through_rate},
+                    {"target", target_ims, 1.0}};
+  auto est = CostModel::Estimate(
+      pipelined ? CostModelKind::kSmolMin : CostModelKind::kTahomaSum, inputs);
+  return est.ok() ? est.value() : 0.0;
+}
+
+Result<std::vector<CascadeOperatingPoint>> SweepCascade(
+    Model* specialized, Model* target, const LabeledImages& validation,
+    const std::vector<double>& thresholds) {
+  std::vector<CascadeOperatingPoint> points;
+  for (double t : thresholds) {
+    Cascade cascade(specialized, target, t);
+    SMOL_ASSIGN_OR_RETURN(auto calib, cascade.Calibrate(validation));
+    points.push_back(
+        CascadeOperatingPoint{t, calib.accuracy, calib.pass_through_rate});
+  }
+  return points;
+}
+
+}  // namespace smol

@@ -1,0 +1,70 @@
+// Tahoma-style cascade classification (§3.2 classification example).
+//
+// Tahoma accelerates binary/multiclass classification by cascading cheap
+// specialized NNs in front of an accurate target DNN: the specialized NN
+// answers confidently-classified inputs itself and passes the rest through.
+// This module implements the cascade executor plus calibration of the
+// confidence threshold / pass-through rate on a validation set, which is what
+// the cost models consume (alpha_j in Eq. 2).
+#ifndef SMOL_ANALYTICS_TAHOMA_H_
+#define SMOL_ANALYTICS_TAHOMA_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/dnn/model.h"
+#include "src/dnn/trainer.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief A two-stage cascade: specialized NN -> target DNN.
+class Cascade {
+ public:
+  /// \p confidence_threshold: inputs whose specialized-NN max softmax
+  /// probability is below this are forwarded to the target model.
+  Cascade(Model* specialized, Model* target, double confidence_threshold);
+
+  /// Classifies a batch; returns predictions.
+  Result<std::vector<int>> Classify(const Tensor& inputs);
+
+  /// Fraction of the last batch forwarded to the target model.
+  double last_pass_through_rate() const { return last_pass_through_; }
+
+  /// Measures accuracy and pass-through rate on a labeled set.
+  struct CalibrationResult {
+    double accuracy = 0.0;
+    double pass_through_rate = 0.0;  ///< alpha for the cost model
+  };
+  Result<CalibrationResult> Calibrate(const LabeledImages& validation,
+                                      const Normalization& norm = {});
+
+ private:
+  Model* specialized_;
+  Model* target_;
+  double threshold_;
+  double last_pass_through_ = 0.0;
+};
+
+/// \brief The family of cascade operating points Tahoma enumerates: one per
+/// confidence threshold (the paper trains 24 specialized NNs; this repo
+/// sweeps thresholds over a trained ladder, which spans the same
+/// accuracy/throughput trade-off axis).
+struct CascadeOperatingPoint {
+  double threshold;
+  double accuracy;
+  double pass_through_rate;
+  /// End-to-end throughput estimate for given stage throughputs, using the
+  /// requested cost model.
+  double EstimatedThroughput(double preproc_ims, double specialized_ims,
+                             double target_ims, bool pipelined) const;
+};
+
+/// Sweeps thresholds, calibrating each operating point on the validation set.
+Result<std::vector<CascadeOperatingPoint>> SweepCascade(
+    Model* specialized, Model* target, const LabeledImages& validation,
+    const std::vector<double>& thresholds);
+
+}  // namespace smol
+
+#endif  // SMOL_ANALYTICS_TAHOMA_H_

@@ -1,0 +1,88 @@
+// Bit-level serialization used by all three codecs.
+#ifndef SMOL_CODEC_BITSTREAM_H_
+#define SMOL_CODEC_BITSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief MSB-first bit writer over a growable byte vector.
+class BitWriter {
+ public:
+  /// Appends the low \p nbits bits of \p value, most significant first.
+  void WriteBits(uint32_t value, int nbits);
+
+  /// Flushes partial bits (zero-padded) so the stream is byte aligned.
+  void AlignToByte();
+
+  /// Appends a full byte (stream must be byte-aligned for raw writes).
+  void WriteByte(uint8_t b);
+
+  /// Appends a little-endian 32-bit integer (byte-aligned).
+  void WriteU32(uint32_t v);
+
+  /// Appends a little-endian 16-bit integer (byte-aligned).
+  void WriteU16(uint16_t v);
+
+  /// Current size in bytes, counting any partial byte.
+  size_t SizeBytes() const { return bytes_.size() + (bit_count_ > 0 ? 1 : 0); }
+
+  /// Finishes the stream and moves out the bytes.
+  std::vector<uint8_t> Finish();
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint32_t bit_buffer_ = 0;  // Up to 31 pending bits, MSB-first.
+  int bit_count_ = 0;
+};
+
+/// \brief MSB-first bit reader over a byte span.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  /// Reads \p nbits (<= 24) bits MSB-first. Fails past end of stream.
+  Result<uint32_t> ReadBits(int nbits);
+
+  /// Reads a single bit; -1 on end of stream (hot path, no Status).
+  int ReadBit() {
+    if (byte_pos_ >= size_) return -1;
+    const int bit = (data_[byte_pos_] >> (7 - bit_pos_)) & 1;
+    if (++bit_pos_ == 8) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+    return bit;
+  }
+
+  /// Skips to the next byte boundary.
+  void AlignToByte() {
+    if (bit_pos_ != 0) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+  }
+
+  Result<uint8_t> ReadByte();
+  Result<uint32_t> ReadU32();
+  Result<uint16_t> ReadU16();
+
+  /// Repositions the reader to an absolute byte offset (byte-aligned).
+  Status SeekToByte(size_t offset);
+
+  size_t byte_position() const { return byte_pos_; }
+  bool AtEnd() const { return byte_pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_CODEC_BITSTREAM_H_

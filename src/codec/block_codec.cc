@@ -1,0 +1,146 @@
+#include "src/codec/block_codec.h"
+
+#include <cstring>
+
+#include "src/util/macros.h"
+
+namespace smol {
+
+int BitSize(int v) {
+  int a = v < 0 ? -v : v;
+  int size = 0;
+  while (a > 0) {
+    a >>= 1;
+    ++size;
+  }
+  return size;
+}
+
+uint32_t EncodeValueBits(int v, int size) {
+  return v >= 0 ? static_cast<uint32_t>(v)
+                : static_cast<uint32_t>(v + (1 << size) - 1);
+}
+
+int DecodeValueBits(uint32_t bits, int size) {
+  if (size == 0) return 0;
+  const int half = 1 << (size - 1);
+  const int v = static_cast<int>(bits);
+  return v >= half ? v : v - ((1 << size) - 1);
+}
+
+void ExtractBlock(const std::vector<uint8_t>& plane, int plane_w, int plane_h,
+                  int bx, int by, int bias, int16_t out[64]) {
+  for (int y = 0; y < 8; ++y) {
+    int sy = by + y;
+    if (sy >= plane_h) sy = plane_h - 1;
+    for (int x = 0; x < 8; ++x) {
+      int sx = bx + x;
+      if (sx >= plane_w) sx = plane_w - 1;
+      out[y * 8 + x] =
+          static_cast<int16_t>(plane[static_cast<size_t>(sy) * plane_w + sx]) -
+          static_cast<int16_t>(bias);
+    }
+  }
+}
+
+CoeffBlock TransformBlock(const int16_t samples[64], const QuantTable& qt) {
+  float dct[64];
+  ForwardDct8x8(samples, dct);
+  int16_t quant[64];
+  Quantize(dct, qt, quant);
+  CoeffBlock out;
+  for (int i = 0; i < 64; ++i) out.zz[i] = quant[kZigZag[i]];
+  return out;
+}
+
+void ReconstructBlock(const CoeffBlock& block, const QuantTable& qt,
+                      int16_t out[64]) {
+  int16_t natural[64];
+  for (int i = 0; i < 64; ++i) natural[kZigZag[i]] = block.zz[i];
+  float dct[64];
+  Dequantize(natural, qt, dct);
+  InverseDct8x8(dct, out);
+}
+
+void AccumulateBlockStats(const CoeffBlock& block, int* dc_pred,
+                          std::vector<uint64_t>& dc_freq,
+                          std::vector<uint64_t>& ac_freq) {
+  const int diff = block.zz[0] - *dc_pred;
+  *dc_pred = block.zz[0];
+  dc_freq[BitSize(diff)]++;
+  int run = 0;
+  for (int i = 1; i < 64; ++i) {
+    if (block.zz[i] == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      ac_freq[0xF0]++;  // ZRL
+      run -= 16;
+    }
+    ac_freq[(run << 4) | BitSize(block.zz[i])]++;
+    run = 0;
+  }
+  if (run > 0) ac_freq[0x00]++;  // EOB
+}
+
+void EncodeBlock(const CoeffBlock& block, int* dc_pred,
+                 const HuffmanTable& dc_table, const HuffmanTable& ac_table,
+                 BitWriter* writer) {
+  const int diff = block.zz[0] - *dc_pred;
+  *dc_pred = block.zz[0];
+  const int dc_size = BitSize(diff);
+  dc_table.EncodeSymbol(writer, dc_size);
+  if (dc_size > 0) writer->WriteBits(EncodeValueBits(diff, dc_size), dc_size);
+  int run = 0;
+  for (int i = 1; i < 64; ++i) {
+    if (block.zz[i] == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      ac_table.EncodeSymbol(writer, 0xF0);
+      run -= 16;
+    }
+    const int size = BitSize(block.zz[i]);
+    ac_table.EncodeSymbol(writer, (run << 4) | size);
+    writer->WriteBits(EncodeValueBits(block.zz[i], size), size);
+    run = 0;
+  }
+  if (run > 0) ac_table.EncodeSymbol(writer, 0x00);
+}
+
+Status DecodeBlock(BitReader* reader, const HuffmanTable& dc_table,
+                   const HuffmanTable& ac_table, int* dc_pred,
+                   CoeffBlock* block) {
+  std::memset(block->zz, 0, sizeof(block->zz));
+  SMOL_ASSIGN_OR_RETURN(int dc_size, dc_table.DecodeSymbol(reader));
+  if (dc_size > 15) return Status::Corruption("bad DC size");
+  int diff = 0;
+  if (dc_size > 0) {
+    SMOL_ASSIGN_OR_RETURN(uint32_t bits, reader->ReadBits(dc_size));
+    diff = DecodeValueBits(bits, dc_size);
+  }
+  *dc_pred += diff;
+  block->zz[0] = static_cast<int16_t>(*dc_pred);
+  int i = 1;
+  while (i < 64) {
+    SMOL_ASSIGN_OR_RETURN(int sym, ac_table.DecodeSymbol(reader));
+    if (sym == 0x00) break;  // EOB
+    if (sym == 0xF0) {       // ZRL
+      i += 16;
+      continue;
+    }
+    const int run = sym >> 4;
+    const int size = sym & 0x0F;
+    if (size == 0) return Status::Corruption("bad AC symbol");
+    i += run;
+    if (i >= 64) return Status::Corruption("AC index overflow");
+    SMOL_ASSIGN_OR_RETURN(uint32_t bits, reader->ReadBits(size));
+    block->zz[i] = static_cast<int16_t>(DecodeValueBits(bits, size));
+    ++i;
+  }
+  return Status::OK();
+}
+
+}  // namespace smol

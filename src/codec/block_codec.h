@@ -1,0 +1,58 @@
+// Shared 8x8 block transform + entropy coding primitives used by the SJPG
+// image codec and the SV264 video codec (both are block-DCT codecs).
+#ifndef SMOL_CODEC_BLOCK_CODEC_H_
+#define SMOL_CODEC_BLOCK_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/codec/bitstream.h"
+#include "src/codec/dct.h"
+#include "src/codec/huffman.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// One 8x8 block of quantized coefficients in zig-zag order.
+struct CoeffBlock {
+  int16_t zz[64];
+};
+
+/// JPEG-style magnitude category: bits needed to represent |v| (0 for v==0).
+int BitSize(int v);
+
+/// JPEG signed-value bit encoding (negatives stored as v + 2^size - 1).
+uint32_t EncodeValueBits(int v, int size);
+int DecodeValueBits(uint32_t bits, int size);
+
+/// Extracts an 8x8 block at (bx, by) from \p plane with edge replication,
+/// level-shifted by \p bias (128 for intra samples, 0 for residuals).
+void ExtractBlock(const std::vector<uint8_t>& plane, int plane_w, int plane_h,
+                  int bx, int by, int bias, int16_t out[64]);
+
+/// Forward DCT + quantization + zig-zag of one block of samples.
+CoeffBlock TransformBlock(const int16_t samples[64], const QuantTable& qt);
+
+/// Dequantization + inverse DCT of one block (output natural order samples).
+void ReconstructBlock(const CoeffBlock& block, const QuantTable& qt,
+                      int16_t out[64]);
+
+/// First-pass Huffman statistics for one block (DC diff + AC run/size).
+/// \p dc_freq must have >= 17 entries, \p ac_freq >= 256.
+void AccumulateBlockStats(const CoeffBlock& block, int* dc_pred,
+                          std::vector<uint64_t>& dc_freq,
+                          std::vector<uint64_t>& ac_freq);
+
+/// Entropy-encodes one block (JPEG DC-differential + AC run-length coding).
+void EncodeBlock(const CoeffBlock& block, int* dc_pred,
+                 const HuffmanTable& dc_table, const HuffmanTable& ac_table,
+                 BitWriter* writer);
+
+/// Entropy-decodes one block into zig-zag coefficients.
+Status DecodeBlock(BitReader* reader, const HuffmanTable& dc_table,
+                   const HuffmanTable& ac_table, int* dc_pred,
+                   CoeffBlock* block);
+
+}  // namespace smol
+
+#endif  // SMOL_CODEC_BLOCK_CODEC_H_

@@ -1,0 +1,80 @@
+#include "src/codec/color.h"
+
+namespace smol {
+
+Ycbcr420 RgbToYcbcr420(const Image& rgb) {
+  Ycbcr420 out;
+  out.width = rgb.width();
+  out.height = rgb.height();
+  const int w = out.width;
+  const int h = out.height;
+  const int cw = out.chroma_width();
+  const int ch = out.chroma_height();
+  out.y.resize(static_cast<size_t>(w) * h);
+  out.cb.resize(static_cast<size_t>(cw) * ch);
+  out.cr.resize(static_cast<size_t>(cw) * ch);
+
+  // Full-resolution conversion into temporary chroma planes.
+  std::vector<uint8_t> cb_full(static_cast<size_t>(w) * h);
+  std::vector<uint8_t> cr_full(static_cast<size_t>(w) * h);
+  const bool gray = rgb.channels() == 1;
+  for (int y = 0; y < h; ++y) {
+    const uint8_t* src = rgb.row(y);
+    for (int x = 0; x < w; ++x) {
+      uint8_t r, g, b;
+      if (gray) {
+        r = g = b = src[x];
+      } else {
+        r = src[x * 3];
+        g = src[x * 3 + 1];
+        b = src[x * 3 + 2];
+      }
+      RgbToYcc(r, g, b, &out.y[static_cast<size_t>(y) * w + x],
+               &cb_full[static_cast<size_t>(y) * w + x],
+               &cr_full[static_cast<size_t>(y) * w + x]);
+    }
+  }
+  // 2x2 box filter then subsample.
+  for (int cy = 0; cy < ch; ++cy) {
+    for (int cx = 0; cx < cw; ++cx) {
+      int sum_cb = 0, sum_cr = 0, count = 0;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          const int sy = cy * 2 + dy;
+          const int sx = cx * 2 + dx;
+          if (sy < h && sx < w) {
+            sum_cb += cb_full[static_cast<size_t>(sy) * w + sx];
+            sum_cr += cr_full[static_cast<size_t>(sy) * w + sx];
+            ++count;
+          }
+        }
+      }
+      out.cb[static_cast<size_t>(cy) * cw + cx] =
+          static_cast<uint8_t>(sum_cb / count);
+      out.cr[static_cast<size_t>(cy) * cw + cx] =
+          static_cast<uint8_t>(sum_cr / count);
+    }
+  }
+  return out;
+}
+
+Image Ycbcr420ToRgb(const Ycbcr420& ycc) {
+  Image out(ycc.width, ycc.height, 3);
+  const int w = ycc.width;
+  const int h = ycc.height;
+  const int cw = ycc.chroma_width();
+  for (int y = 0; y < h; ++y) {
+    uint8_t* dst = out.row(y);
+    const int cy = y / 2;
+    for (int x = 0; x < w; ++x) {
+      const int cx = x / 2;
+      YccToRgb(ycc.y[static_cast<size_t>(y) * w + x],
+               ycc.cb[static_cast<size_t>(cy) * cw + cx],
+               ycc.cr[static_cast<size_t>(cy) * cw + cx], &dst[x * 3],
+               &dst[x * 3 + 1], &dst[x * 3 + 2]);
+    }
+  }
+  return out;
+}
+
+}  // namespace smol

@@ -1,0 +1,156 @@
+#include "src/codec/dct.h"
+
+#include <cmath>
+
+namespace smol {
+
+const int kZigZag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+namespace {
+
+// Precomputed cosine basis: kCos[u][x] = cos((2x+1) u pi / 16) * scale(u).
+struct DctBasis {
+  float c[8][8];
+  DctBasis() {
+    for (int u = 0; u < 8; ++u) {
+      const double scale = (u == 0) ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x) {
+        c[u][x] = static_cast<float>(
+            scale * std::cos((2.0 * x + 1.0) * u * 3.14159265358979323846 / 16.0));
+      }
+    }
+  }
+};
+const DctBasis kBasis;
+
+}  // namespace
+
+void ForwardDct8x8(const int16_t in[64], float out[64]) {
+  // Separable: rows then columns.
+  float tmp[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      float acc = 0.0f;
+      for (int x = 0; x < 8; ++x) {
+        acc += kBasis.c[u][x] * static_cast<float>(in[y * 8 + x]);
+      }
+      tmp[y * 8 + u] = acc;
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float acc = 0.0f;
+      for (int y = 0; y < 8; ++y) {
+        acc += kBasis.c[v][y] * tmp[y * 8 + u];
+      }
+      out[v * 8 + u] = acc;
+    }
+  }
+}
+
+void InverseDct8x8(const float in[64], int16_t out[64]) {
+  float tmp[64];
+  for (int v = 0; v < 8; ++v) {
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0.0f;
+      for (int u = 0; u < 8; ++u) {
+        acc += kBasis.c[u][x] * in[v * 8 + u];
+      }
+      tmp[v * 8 + x] = acc;
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0.0f;
+      for (int v = 0; v < 8; ++v) {
+        acc += kBasis.c[v][y] * tmp[v * 8 + x];
+      }
+      float val = acc;
+      if (val > 255.0f) val = 255.0f;
+      if (val < -256.0f) val = -256.0f;
+      out[y * 8 + x] = static_cast<int16_t>(std::lround(val));
+    }
+  }
+}
+
+void InverseDctScaled(const float in[64], int n, int16_t* out) {
+  // The top-left n x n of an 8x8 DCT, rescaled by n/8, is the n x n DCT of
+  // the box-downsampled block; invert it with the n-point orthonormal basis.
+  const double scale_fix = static_cast<double>(n) / 8.0;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      double acc = 0.0;
+      for (int v = 0; v < n; ++v) {
+        const double sv = (v == 0) ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+        const double cy =
+            std::cos((2.0 * y + 1.0) * v * 3.14159265358979323846 / (2.0 * n));
+        for (int u = 0; u < n; ++u) {
+          const double su =
+              (u == 0) ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+          const double cx = std::cos((2.0 * x + 1.0) * u *
+                                     3.14159265358979323846 / (2.0 * n));
+          acc += sv * su * cy * cx * in[v * 8 + u];
+        }
+      }
+      double val = acc * scale_fix;
+      if (val > 255.0) val = 255.0;
+      if (val < -256.0) val = -256.0;
+      out[y * n + x] = static_cast<int16_t>(std::lround(val));
+    }
+  }
+}
+
+namespace {
+
+// Standard JPEG Annex K base tables.
+const uint16_t kLumaBase[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+const uint16_t kChromaBase[64] = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+QuantTable ScaleTable(const uint16_t* base, int quality) {
+  if (quality < 1) quality = 1;
+  if (quality > 100) quality = 100;
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  QuantTable t;
+  for (int i = 0; i < 64; ++i) {
+    int v = (base[i] * scale + 50) / 100;
+    if (v < 1) v = 1;
+    if (v > 255) v = 255;
+    t.q[i] = static_cast<uint16_t>(v);
+  }
+  return t;
+}
+
+}  // namespace
+
+QuantTable QuantTable::Luma(int quality) { return ScaleTable(kLumaBase, quality); }
+
+QuantTable QuantTable::Chroma(int quality) {
+  return ScaleTable(kChromaBase, quality);
+}
+
+void Quantize(const float in[64], const QuantTable& table, int16_t out[64]) {
+  for (int i = 0; i < 64; ++i) {
+    out[i] = static_cast<int16_t>(std::lround(in[i] / table.q[i]));
+  }
+}
+
+void Dequantize(const int16_t in[64], const QuantTable& table, float out[64]) {
+  for (int i = 0; i < 64; ++i) {
+    out[i] = static_cast<float>(in[i]) * table.q[i];
+  }
+}
+
+}  // namespace smol

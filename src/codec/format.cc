@@ -1,0 +1,70 @@
+#include "src/codec/format.h"
+
+#include <algorithm>
+
+namespace smol {
+
+const char* LowFidelityFeatureName(LowFidelityFeature f) {
+  switch (f) {
+    case LowFidelityFeature::kPartialDecoding:
+      return "Partial decoding";
+    case LowFidelityFeature::kEarlyStopping:
+      return "Early stopping";
+    case LowFidelityFeature::kReducedFidelity:
+      return "Reduced fidelity decoding";
+    case LowFidelityFeature::kMultiResolution:
+      return "Multi-resolution decoding";
+  }
+  return "?";
+}
+
+bool FormatDescriptor::Supports(LowFidelityFeature f) const {
+  return std::find(features.begin(), features.end(), f) != features.end();
+}
+
+FormatRegistry::FormatRegistry() {
+  using F = LowFidelityFeature;
+  // Implemented by this library. SJPG also supports early stopping (the
+  // MCU-row index subsumes it), matching JPEG-with-restart-markers.
+  formats_.push_back({"SJPG", "JPEG", MediaType::kImage,
+                      {F::kPartialDecoding, F::kEarlyStopping}, false});
+  formats_.push_back(
+      {"SPNG", "PNG", MediaType::kImage, {F::kEarlyStopping}, true});
+  formats_.push_back({"SV264", "H.264", MediaType::kVideo,
+                      {F::kReducedFidelity}, false});
+  // Table 4 reference rows (not decodable here; listed for parity).
+  formats_.push_back(
+      {"WebP", "WebP", MediaType::kImage, {F::kEarlyStopping}, false});
+  formats_.push_back({"HEIC/HEVC", "HEIC/HEVC", MediaType::kVideo,
+                      {F::kReducedFidelity}, false});
+  formats_.push_back(
+      {"VP8", "VP8", MediaType::kVideo, {F::kReducedFidelity}, false});
+  formats_.push_back(
+      {"VP9", "VP9", MediaType::kVideo, {F::kReducedFidelity}, false});
+  formats_.push_back({"JPEG2000", "JPEG2000", MediaType::kImage,
+                      {F::kMultiResolution, F::kEarlyStopping}, false});
+}
+
+const FormatRegistry& FormatRegistry::Global() {
+  static const FormatRegistry registry;
+  return registry;
+}
+
+Result<FormatDescriptor> FormatRegistry::Find(const std::string& name) const {
+  for (const auto& f : formats_) {
+    if (f.name == name) return f;
+  }
+  return Status::NotFound("unknown format: " + name);
+}
+
+std::vector<FormatDescriptor> FormatRegistry::Implemented() const {
+  std::vector<FormatDescriptor> out;
+  for (const auto& f : formats_) {
+    if (f.name == "SJPG" || f.name == "SPNG" || f.name == "SV264") {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace smol

@@ -1,0 +1,60 @@
+// Visual data format descriptors and the low-fidelity feature registry
+// (paper Table 4). The plan generator enumerates input formats through this
+// registry; the runtime consults it to know which partial-decode strategies a
+// stored format supports.
+#ifndef SMOL_CODEC_FORMAT_H_
+#define SMOL_CODEC_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace smol {
+
+/// Media kind of a stored format.
+enum class MediaType { kImage, kVideo };
+
+/// Low-fidelity decode features a compression format can offer (Table 4).
+enum class LowFidelityFeature {
+  kPartialDecoding,        ///< Independently decodable macroblocks (JPEG).
+  kEarlyStopping,          ///< Raster-order prefix decoding (PNG, WebP).
+  kReducedFidelity,        ///< Skippable post-processing, e.g. deblocking
+                           ///< (H.264 / HEVC / VP8 / VP9 / HEIC).
+  kMultiResolution,        ///< Progressive embedded resolutions (JPEG2000).
+};
+
+const char* LowFidelityFeatureName(LowFidelityFeature f);
+
+/// \brief Descriptor of one visual compression format.
+struct FormatDescriptor {
+  std::string name;            ///< e.g. "SJPG" (this repo's JPEG analogue).
+  std::string paper_analogue;  ///< e.g. "JPEG" (what the paper's table lists).
+  MediaType media;
+  std::vector<LowFidelityFeature> features;
+  bool lossless = false;
+
+  bool Supports(LowFidelityFeature f) const;
+};
+
+/// \brief Registry of the formats this library implements plus the formats
+/// the paper's Table 4 lists (for reporting parity).
+class FormatRegistry {
+ public:
+  /// The built-in registry (SJPG/SPNG/SV264 + Table 4 reference rows).
+  static const FormatRegistry& Global();
+
+  Result<FormatDescriptor> Find(const std::string& name) const;
+  const std::vector<FormatDescriptor>& all() const { return formats_; }
+
+  /// Formats actually implemented by this library (decodable here).
+  std::vector<FormatDescriptor> Implemented() const;
+
+ private:
+  FormatRegistry();
+  std::vector<FormatDescriptor> formats_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_CODEC_FORMAT_H_

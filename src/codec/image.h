@@ -1,0 +1,100 @@
+// Image container shared by the codecs and the preprocessing operators.
+#ifndef SMOL_CODEC_IMAGE_H_
+#define SMOL_CODEC_IMAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief An 8-bit interleaved (HWC) image, 1 or 3 channels.
+///
+/// Rows are densely packed: stride == width * channels. Pixel (x, y, c) lives
+/// at data[(y * width + x) * channels + c].
+class Image {
+ public:
+  Image() = default;
+
+  /// Allocates a zero-initialized image.
+  Image(int width, int height, int channels)
+      : width_(width), height_(height), channels_(channels),
+        data_(static_cast<size_t>(width) * height * channels, 0) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  bool empty() const { return data_.empty(); }
+  size_t size_bytes() const { return data_.size(); }
+
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* data() { return data_.data(); }
+
+  uint8_t at(int x, int y, int c) const {
+    return data_[(static_cast<size_t>(y) * width_ + x) * channels_ + c];
+  }
+  uint8_t& at(int x, int y, int c) {
+    return data_[(static_cast<size_t>(y) * width_ + x) * channels_ + c];
+  }
+
+  const uint8_t* row(int y) const {
+    return data_.data() + static_cast<size_t>(y) * width_ * channels_;
+  }
+  uint8_t* row(int y) {
+    return data_.data() + static_cast<size_t>(y) * width_ * channels_;
+  }
+
+  bool operator==(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_ && data_ == other.data_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// \brief Rectangular region of interest in pixel coordinates.
+///
+/// Half-open: columns [x, x + width), rows [y, y + height).
+struct Roi {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  bool empty() const { return width <= 0 || height <= 0; }
+
+  /// Central crop of size (w, h) within an image of size (img_w, img_h).
+  static Roi CenterCrop(int img_w, int img_h, int w, int h) {
+    Roi roi;
+    roi.width = w < img_w ? w : img_w;
+    roi.height = h < img_h ? h : img_h;
+    roi.x = (img_w - roi.width) / 2;
+    roi.y = (img_h - roi.height) / 2;
+    return roi;
+  }
+
+  bool operator==(const Roi& other) const {
+    return x == other.x && y == other.y && width == other.width &&
+           height == other.height;
+  }
+};
+
+/// Copies the \p roi rectangle of \p src into a new image.
+Result<Image> CropImage(const Image& src, const Roi& roi);
+
+/// Peak signal-to-noise ratio between two same-shaped images, in dB.
+/// Returns +inf (1e9) for identical images.
+Result<double> Psnr(const Image& a, const Image& b);
+
+/// Mean absolute per-pixel difference between two same-shaped images.
+Result<double> MeanAbsDiff(const Image& a, const Image& b);
+
+}  // namespace smol
+
+#endif  // SMOL_CODEC_IMAGE_H_

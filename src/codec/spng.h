@@ -1,0 +1,63 @@
+// SPNG: a from-scratch PNG-like lossless image codec.
+//
+// Structure mirrors PNG: per-row prediction filters (None/Sub/Up/Avg/Paeth,
+// chosen per row by the minimum-sum-of-absolute-residuals heuristic) over the
+// raw pixel bytes, followed by an LZ77 + canonical-Huffman entropy stage in
+// the spirit of DEFLATE (literal/length alphabet with extra bits, separate
+// distance alphabet, 32 KiB window).
+//
+// Because rows have a fixed filtered size, a decoder can stop as soon as the
+// requested number of rows has been reconstructed — this is the "early
+// stopping" low-fidelity feature Table 4 attributes to PNG/WebP.
+#ifndef SMOL_CODEC_SPNG_H_
+#define SMOL_CODEC_SPNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/codec/image.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// Encoder configuration.
+struct SpngEncodeOptions {
+  /// Maximum hash-chain probes per position; higher = smaller files, slower.
+  int match_effort = 32;
+};
+
+/// Parsed stream metadata.
+struct SpngHeader {
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+};
+
+/// Decoder configuration.
+struct SpngDecodeOptions {
+  /// Decode only the first \p max_rows rows (early stopping). 0 => all rows.
+  int max_rows = 0;
+};
+
+/// Work counters for verifying early-stop savings.
+struct SpngDecodeStats {
+  int64_t tokens_decoded = 0;
+  int64_t bytes_inflated = 0;
+  int64_t rows_unfiltered = 0;
+};
+
+/// Encodes \p image losslessly into an SPNG byte stream.
+Result<std::vector<uint8_t>> SpngEncode(const Image& image,
+                                        const SpngEncodeOptions& options = {});
+
+/// Parses only the header.
+Result<SpngHeader> SpngPeekHeader(const std::vector<uint8_t>& bytes);
+
+/// Decodes an SPNG stream, optionally stopping early after max_rows rows.
+Result<Image> SpngDecode(const std::vector<uint8_t>& bytes,
+                         const SpngDecodeOptions& options = {},
+                         SpngDecodeStats* stats = nullptr);
+
+}  // namespace smol
+
+#endif  // SMOL_CODEC_SPNG_H_

@@ -1,0 +1,113 @@
+// SV264: a from-scratch H.264-like block video codec.
+//
+// Structure mirrors the parts of H.264 the paper's optimizations touch:
+//  * I-frames: intra-coded 16x16 macroblocks (4 luma + 2 chroma 8x8 DCT
+//    blocks, quality-scaled quantization, Huffman entropy coding).
+//  * P-frames: per-macroblock motion-compensated prediction from the previous
+//    reconstructed frame (diamond search on luma), SKIP / INTER modes, DCT-
+//    coded residuals.
+//  * An in-loop deblocking filter applied at encode; decoders may skip it
+//    ("reduced-fidelity decoding", §6.4 / Table 4) trading visual fidelity —
+//    and gradual drift on long GOPs — for lower decode cost.
+//  * GOP structure with a frame index enabling random access: decoding frame
+//    i seeks to the nearest preceding I-frame, which is exactly the access
+//    cost video-analytics sampling pays.
+//
+// Entropy coding uses canonical Huffman (stand-in for CAVLC; both are
+// branchy, CPU-bound entropy decoders, which is the property §6.4 relies on).
+#ifndef SMOL_CODEC_SV264_H_
+#define SMOL_CODEC_SV264_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/codec/color.h"
+#include "src/codec/image.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// Encoder configuration.
+struct Sv264EncodeOptions {
+  int quality = 75;       ///< Quantizer quality, [1, 100].
+  int gop = 30;           ///< I-frame interval.
+  int search_range = 8;   ///< Motion search radius in pixels.
+  bool deblock = true;    ///< Apply the in-loop deblocking filter.
+};
+
+/// Stream metadata.
+struct Sv264Header {
+  int width = 0;
+  int height = 0;
+  int num_frames = 0;
+  int gop = 0;
+  int quality = 0;
+  bool encoded_with_deblock = true;
+};
+
+/// Per-decode work counters.
+struct Sv264DecodeStats {
+  int64_t blocks_decoded = 0;
+  int64_t mbs_skipped = 0;        ///< SKIP-mode macroblocks (no residual).
+  int64_t deblock_edges = 0;      ///< Edges filtered by the deblocking pass.
+  int64_t frames_decoded = 0;     ///< Includes reference frames for seeking.
+};
+
+/// Encodes a frame sequence (all frames must share dimensions, 3 channels).
+Result<std::vector<uint8_t>> Sv264Encode(const std::vector<Image>& frames,
+                                         const Sv264EncodeOptions& options = {});
+
+/// \brief Streaming decoder with random access via the GOP index.
+class Sv264Decoder {
+ public:
+  struct Options {
+    /// Apply the in-loop deblocking filter while decoding. Turning this off
+    /// is the paper's reduced-fidelity decode: faster, slightly degraded.
+    bool deblock = true;
+  };
+
+  /// Parses the container; the returned decoder borrows \p bytes (the caller
+  /// must keep the buffer alive while decoding).
+  static Result<std::unique_ptr<Sv264Decoder>> Open(
+      const std::vector<uint8_t>& bytes, const Options& options);
+  /// Opens with default options (deblocking on).
+  static Result<std::unique_ptr<Sv264Decoder>> Open(
+      const std::vector<uint8_t>& bytes);
+
+  const Sv264Header& header() const { return header_; }
+  int num_frames() const { return header_.num_frames; }
+
+  /// Decodes frame \p index (random access: seeks to the nearest preceding
+  /// I-frame and rolls forward, like any inter-coded format).
+  Result<Image> DecodeFrame(int index);
+
+  /// Sequential decode of the next frame; OutOfRange at end of stream.
+  Result<Image> DecodeNext();
+
+  /// Cumulative work counters.
+  const Sv264DecodeStats& stats() const { return stats_; }
+
+  /// Resets the sequential cursor and reference state.
+  void Reset();
+
+ private:
+  Sv264Decoder() = default;
+
+  // Decodes the frame stored at frames_[i] given current reference state.
+  Status DecodeStoredFrame(int index);
+
+  const std::vector<uint8_t>* bytes_ = nullptr;
+  Options options_;
+  Sv264Header header_;
+  std::vector<uint32_t> frame_offsets_;  // byte offset of each frame payload
+  std::vector<uint8_t> frame_types_;     // 'I' or 'P'
+  // Reference state: last reconstructed frame (YCbCr 4:2:0 planes).
+  Ycbcr420 reference_;
+  int last_decoded_ = -1;
+  Sv264DecodeStats stats_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_CODEC_SV264_H_

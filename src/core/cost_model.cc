@@ -1,0 +1,65 @@
+#include "src/core/cost_model.h"
+
+#include <algorithm>
+
+#include "src/util/macros.h"
+
+namespace smol {
+
+const char* CostModelKindName(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::kSmolMin:
+      return "Smol(min)";
+    case CostModelKind::kBlazeItDnnOnly:
+      return "BlazeIt(dnn-only)";
+    case CostModelKind::kTahomaSum:
+      return "Tahoma(sum)";
+  }
+  return "?";
+}
+
+Result<double> CostModel::CascadeExecThroughput(
+    const std::vector<CascadeStage>& cascade) {
+  if (cascade.empty()) return Status::InvalidArgument("empty cascade");
+  // Stage j processes the fraction of inputs that passed stages 1..j-1.
+  double inv_throughput = 0.0;
+  double reach = 1.0;  // fraction of inputs reaching this stage
+  for (const CascadeStage& stage : cascade) {
+    if (stage.exec_throughput_ims <= 0.0) {
+      return Status::InvalidArgument("non-positive stage throughput");
+    }
+    if (stage.pass_through_rate < 0.0 || stage.pass_through_rate > 1.0) {
+      return Status::InvalidArgument("pass-through rate outside [0, 1]");
+    }
+    inv_throughput += reach / stage.exec_throughput_ims;
+    reach *= stage.pass_through_rate;
+  }
+  return 1.0 / inv_throughput;
+}
+
+Result<double> CostModel::Estimate(CostModelKind kind,
+                                   const CostModelInputs& inputs) {
+  SMOL_ASSIGN_OR_RETURN(double exec, CascadeExecThroughput(inputs.cascade));
+  switch (kind) {
+    case CostModelKind::kBlazeItDnnOnly:
+      // Eq. 2: preprocessing assumed free.
+      return exec;
+    case CostModelKind::kTahomaSum: {
+      // Eq. 3: stages serialized (no pipelining).
+      if (inputs.preproc_throughput_ims <= 0.0) {
+        return Status::InvalidArgument("non-positive preprocessing throughput");
+      }
+      return 1.0 / (1.0 / inputs.preproc_throughput_ims + 1.0 / exec);
+    }
+    case CostModelKind::kSmolMin: {
+      // Eq. 4: pipelined stages bound by the slower of the two.
+      if (inputs.preproc_throughput_ims <= 0.0) {
+        return Status::InvalidArgument("non-positive preprocessing throughput");
+      }
+      return std::min(inputs.preproc_throughput_ims, exec);
+    }
+  }
+  return Status::InvalidArgument("unknown cost model");
+}
+
+}  // namespace smol

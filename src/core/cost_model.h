@@ -1,0 +1,62 @@
+// Throughput cost models (§4).
+//
+// A configuration is a cascade of one or more DNNs over one input format.
+// Three estimators are implemented:
+//   kSmolMin     — Eq. 4: min(preprocessing, cascade DNN throughput); correct
+//                  when preprocessing pipelines with DNN execution.
+//   kBlazeItDnnOnly — Eq. 2: cascade DNN throughput, ignoring preprocessing
+//                  (NoScope / BlazeIt / probabilistic predicates).
+//   kTahomaSum   — Eq. 3: harmonic sum of preprocessing and execution,
+//                  ignoring pipelining (Tahoma).
+#ifndef SMOL_CORE_COST_MODEL_H_
+#define SMOL_CORE_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace smol {
+
+/// One stage of a cascade: a DNN with its execution throughput and the
+/// fraction of inputs that pass through to the next stage.
+struct CascadeStage {
+  std::string model_name;
+  double exec_throughput_ims = 0.0;  ///< T_exec(D_j), measured in isolation
+  double pass_through_rate = 1.0;    ///< alpha_j in [0, 1]
+};
+
+/// Inputs to throughput estimation for one configuration.
+struct CostModelInputs {
+  double preproc_throughput_ims = 0.0;  ///< T_preproc(C_i)
+  std::vector<CascadeStage> cascade;    ///< D_{i,1} ... D_{i,k}
+};
+
+enum class CostModelKind { kSmolMin, kBlazeItDnnOnly, kTahomaSum };
+
+const char* CostModelKindName(CostModelKind kind);
+
+/// \brief Throughput estimators for the three cost models.
+class CostModel {
+ public:
+  /// Effective cascade execution throughput: 1 / sum_j (prod alpha / T_j)
+  /// with alpha_0 = 1 (everything passes stage 1; stage j sees the product of
+  /// earlier pass-through rates).
+  static Result<double> CascadeExecThroughput(
+      const std::vector<CascadeStage>& cascade);
+
+  /// Estimated end-to-end throughput under the chosen model.
+  static Result<double> Estimate(CostModelKind kind,
+                                 const CostModelInputs& inputs);
+
+  /// Percent error of an estimate against a measured throughput.
+  static double PercentError(double estimate, double measured) {
+    if (measured <= 0.0) return 0.0;
+    const double e = (estimate - measured) / measured * 100.0;
+    return e < 0 ? -e : e;
+  }
+};
+
+}  // namespace smol
+
+#endif  // SMOL_CORE_COST_MODEL_H_

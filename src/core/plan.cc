@@ -1,0 +1,53 @@
+#include "src/core/plan.h"
+
+#include <algorithm>
+
+namespace smol {
+
+std::string QueryPlan::ToString() const {
+  std::string out = model_name;
+  out += " @ ";
+  out += StorageFormatName(format);
+  out += " (acc=" + std::to_string(accuracy);
+  out += ", tput=" + std::to_string(static_cast<int>(throughput_ims)) + " im/s)";
+  return out;
+}
+
+bool Dominates(const QueryPlan& a, const QueryPlan& b) {
+  const bool ge_both =
+      a.accuracy >= b.accuracy && a.throughput_ims >= b.throughput_ims;
+  const bool gt_one =
+      a.accuracy > b.accuracy || a.throughput_ims > b.throughput_ims;
+  return ge_both && gt_one;
+}
+
+std::vector<QueryPlan> ParetoFrontier(std::vector<QueryPlan> plans) {
+  std::vector<QueryPlan> frontier;
+  for (const QueryPlan& p : plans) {
+    bool dominated = false;
+    for (const QueryPlan& q : plans) {
+      if (Dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(p);
+  }
+  // De-duplicate identical (accuracy, throughput) points.
+  std::sort(frontier.begin(), frontier.end(),
+            [](const QueryPlan& a, const QueryPlan& b) {
+              if (a.throughput_ims != b.throughput_ims) {
+                return a.throughput_ims > b.throughput_ims;
+              }
+              return a.accuracy > b.accuracy;
+            });
+  frontier.erase(std::unique(frontier.begin(), frontier.end(),
+                             [](const QueryPlan& a, const QueryPlan& b) {
+                               return a.accuracy == b.accuracy &&
+                                      a.throughput_ims == b.throughput_ims;
+                             }),
+                 frontier.end());
+  return frontier;
+}
+
+}  // namespace smol

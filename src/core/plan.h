@@ -1,0 +1,52 @@
+// Query plans: the (DNN, input format, placement) triples Smol's optimizer
+// searches over (§3.1: "a plan — concretely, a DNN and an input format").
+#ifndef SMOL_CORE_PLAN_H_
+#define SMOL_CORE_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/data/datasets.h"
+
+namespace smol {
+
+/// \brief A candidate DNN for the plan space (the D axis).
+struct CandidateModel {
+  std::string name;              ///< e.g. "smolnet50"
+  double exec_throughput_ims;    ///< modelled accelerator throughput
+  /// Accuracy per storage format, profiled on the calibration set
+  /// (indexed by static_cast<int>(StorageFormat)).
+  std::vector<double> accuracy_by_format;
+};
+
+/// \brief A candidate input format (the F axis).
+struct CandidateFormat {
+  StorageFormat format;
+  double preproc_throughput_ims;  ///< decode+preprocess throughput
+};
+
+/// \brief One point in the D x F plan space.
+struct QueryPlan {
+  std::string model_name;
+  StorageFormat format = StorageFormat::kFullSpng;
+  double accuracy = 0.0;
+  double throughput_ims = 0.0;    ///< estimated end-to-end (min model)
+  double preproc_ims = 0.0;
+  double exec_ims = 0.0;
+  int stages_on_accelerator = 0;  ///< chosen operator placement
+
+  std::string ToString() const;
+};
+
+/// Returns the Pareto-optimal subset of plans in (accuracy, throughput):
+/// a plan survives iff no other plan is at least as good on both axes and
+/// strictly better on one. Output is sorted by throughput descending.
+std::vector<QueryPlan> ParetoFrontier(std::vector<QueryPlan> plans);
+
+/// True iff \p a dominates \p b (>= on both axes, > on at least one).
+bool Dominates(const QueryPlan& a, const QueryPlan& b);
+
+}  // namespace smol
+
+#endif  // SMOL_CORE_PLAN_H_

@@ -1,0 +1,63 @@
+#include "src/core/training_orchestrator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/macros.h"
+
+namespace smol {
+
+Result<TrainedPlanSpace> TrainingOrchestrator::Train(
+    const LabeledImages& train, const LabeledImages& val,
+    const Options& options) {
+  if (train.size() == 0) return Status::InvalidArgument("empty training set");
+  if (options.architectures.empty()) {
+    return Status::InvalidArgument("no architectures");
+  }
+  if (options.base_epochs < 1) {
+    return Status::InvalidArgument("base_epochs must be >= 1");
+  }
+  TrainedPlanSpace space;
+  // Fine-tuning budget: at least one epoch when any budget exists, but never
+  // above the configured fraction (rounded to a whole epoch).
+  const int finetune_epochs = std::max(
+      options.finetune_budget > 0.0 ? 1 : 0,
+      static_cast<int>(std::floor(options.base_epochs *
+                                  options.finetune_budget)));
+
+  for (const std::string& arch : options.architectures) {
+    SMOL_ASSIGN_OR_RETURN(SmolNetSpec spec,
+                          GetSmolNetSpec(arch, train.num_classes));
+    // Base model on full-resolution data.
+    SMOL_ASSIGN_OR_RETURN(auto base, BuildSmolNet(spec, options.seed));
+    TrainOptions base_opts;
+    base_opts.epochs = options.base_epochs;
+    base_opts.batch_size = options.batch_size;
+    base_opts.learning_rate = options.learning_rate;
+    base_opts.seed = options.seed;
+    SMOL_RETURN_IF_ERROR(
+        TrainModel(base.get(), train, val, base_opts).status());
+    space.base_epochs += options.base_epochs;
+
+    // Low-resolution variant: clone the base weights (serialize/restore) and
+    // fine-tune with §5.3 augmentation under the overhead budget.
+    if (finetune_epochs > 0) {
+      SMOL_ASSIGN_OR_RETURN(auto blob, SaveModel(base.get()));
+      SMOL_ASSIGN_OR_RETURN(auto lowres, LoadModel(blob));
+      TrainOptions ft_opts = base_opts;
+      ft_opts.epochs = finetune_epochs;
+      ft_opts.learning_rate =
+          options.learning_rate * options.finetune_lr_factor;
+      ft_opts.lowres_target = options.lowres_target;
+      ft_opts.lowres_prob = 0.7;
+      SMOL_RETURN_IF_ERROR(
+          TrainModel(lowres.get(), train, val, ft_opts).status());
+      space.finetune_epochs += finetune_epochs;
+      space.models[arch + "@lowres"] = std::move(lowres);
+    }
+    space.models[arch + "@full"] = std::move(base);
+  }
+  return space;
+}
+
+}  // namespace smol

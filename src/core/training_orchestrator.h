@@ -1,0 +1,72 @@
+// Smol's training phase (§3.1 "Smol training").
+//
+// Given a set of DNN architectures and the natively available formats, Smol
+// trains base models on full-resolution data and fine-tunes them on the
+// cross product of architectures and *resolutions* (formats sharing a
+// resolution share a model). The paper bounds the added cost at ~30% of base
+// training; this orchestrator implements that budget policy: fine-tuning
+// runs a fraction of the base epochs, and low-resolution awareness comes
+// from the §5.3 augmentation in the fine-tuning stage.
+#ifndef SMOL_CORE_TRAINING_ORCHESTRATOR_H_
+#define SMOL_CORE_TRAINING_ORCHESTRATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dnn/model.h"
+#include "src/dnn/trainer.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief Output of the training phase: one model per (arch, resolution).
+struct TrainedPlanSpace {
+  /// Key: arch name + "@" + resolution tag ("full" or "lowres").
+  std::map<std::string, std::unique_ptr<Model>> models;
+  /// Accounting: epochs spent on base training vs fine-tuning.
+  int base_epochs = 0;
+  int finetune_epochs = 0;
+
+  /// Fine-tuning overhead relative to base training (paper: <= ~30%).
+  double OverheadFraction() const {
+    return base_epochs > 0
+               ? static_cast<double>(finetune_epochs) / base_epochs
+               : 0.0;
+  }
+
+  Model* Find(const std::string& arch, bool lowres) const {
+    auto it = models.find(arch + (lowres ? "@lowres" : "@full"));
+    return it == models.end() ? nullptr : it->second.get();
+  }
+};
+
+/// \brief Orchestrates base training + per-resolution fine-tuning.
+class TrainingOrchestrator {
+ public:
+  struct Options {
+    std::vector<std::string> architectures = {"smolnet18", "smolnet34",
+                                              "smolnet50"};
+    int base_epochs = 4;
+    /// Budget for fine-tuning as a fraction of base epochs (paper: <= 0.3).
+    double finetune_budget = 0.3;
+    /// Low-resolution target (short side) for the fine-tuned variants.
+    int lowres_target = 24;
+    int batch_size = 32;
+    double learning_rate = 0.05;
+    /// Fine-tuning uses a reduced learning rate.
+    double finetune_lr_factor = 0.2;
+    uint64_t seed = 29;
+  };
+
+  /// Trains the full plan space for \p train (validating on \p val).
+  /// Whole-run cost respects: finetune epochs <= budget * base epochs.
+  static Result<TrainedPlanSpace> Train(const LabeledImages& train,
+                                        const LabeledImages& val,
+                                        const Options& options);
+};
+
+}  // namespace smol
+
+#endif  // SMOL_CORE_TRAINING_ORCHESTRATOR_H_

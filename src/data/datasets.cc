@@ -1,0 +1,151 @@
+#include "src/data/datasets.h"
+
+#include "src/codec/sjpg.h"
+#include "src/codec/spng.h"
+#include "src/data/synth_image.h"
+#include "src/util/macros.h"
+
+namespace smol {
+
+const std::vector<DatasetSpec>& ImageDatasetSpecs() {
+  // Difficulty ladder mirrors Table 6: bike-bird (2 classes, easy) ->
+  // animals-10 (10) -> birds-200 (many classes, few shots) -> imagenet
+  // (most classes, most variation). Sizes scaled for CPU training.
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"bike-bird", 2, 600, 240, 48, 48, 24, 8.0, 0.25, 101},
+      {"animals-10", 10, 1000, 400, 48, 48, 24, 12.0, 0.35, 202},
+      {"birds-200", 32, 1280, 512, 48, 48, 24, 18.0, 0.50, 303},
+      {"imagenet", 48, 1440, 576, 48, 48, 24, 24.0, 0.60, 404},
+  };
+  return kSpecs;
+}
+
+Result<DatasetSpec> FindImageDataset(const std::string& name) {
+  for (const auto& spec : ImageDatasetSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+const char* StorageFormatName(StorageFormat format) {
+  switch (format) {
+    case StorageFormat::kFullSpng:
+      return "full-SPNG";
+    case StorageFormat::kFullSjpg:
+      return "full-SJPG(q90)";
+    case StorageFormat::kThumbSpng:
+      return "thumb-SPNG";
+    case StorageFormat::kThumbSjpgQ95:
+      return "thumb-SJPG(q95)";
+    case StorageFormat::kThumbSjpgQ75:
+      return "thumb-SJPG(q75)";
+  }
+  return "?";
+}
+
+bool IsThumbnail(StorageFormat format) {
+  return format == StorageFormat::kThumbSpng ||
+         format == StorageFormat::kThumbSjpgQ95 ||
+         format == StorageFormat::kThumbSjpgQ75;
+}
+
+Result<ImageDataset> ImageDataset::Generate(const DatasetSpec& spec) {
+  ImageDataset ds;
+  ds.spec_ = spec;
+  SynthImageOptions opts;
+  opts.width = spec.full_width;
+  opts.height = spec.full_height;
+  opts.num_classes = spec.num_classes;
+  opts.noise = spec.noise;
+  opts.variation = spec.variation;
+  opts.seed = spec.seed;
+  SynthImageGenerator gen(opts);
+
+  auto fill = [&](LabeledImages* out, int count, uint64_t index_base) {
+    out->num_classes = spec.num_classes;
+    out->images.reserve(count);
+    out->labels.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      const int label = i % spec.num_classes;
+      out->images.push_back(gen.Generate(label, index_base + i));
+      out->labels.push_back(label);
+    }
+  };
+  fill(&ds.train_, spec.train_size, 0);
+  fill(&ds.test_, spec.test_size, 1000000);  // disjoint sample indices
+  return ds;
+}
+
+Result<std::vector<StoredImage>> ImageDataset::EncodeTestSet(
+    StorageFormat format) const {
+  std::vector<StoredImage> out;
+  out.reserve(test_.size());
+  for (size_t i = 0; i < test_.size(); ++i) {
+    const Image& full = test_.images[i];
+    Image to_encode = full;
+    if (IsThumbnail(format)) {
+      to_encode = ResizeBilinear(full, spec_.thumb_size, spec_.thumb_size);
+    }
+    StoredImage stored;
+    stored.label = test_.labels[i];
+    switch (format) {
+      case StorageFormat::kFullSpng:
+      case StorageFormat::kThumbSpng: {
+        SMOL_ASSIGN_OR_RETURN(stored.bytes, SpngEncode(to_encode));
+        break;
+      }
+      case StorageFormat::kFullSjpg: {
+        SMOL_ASSIGN_OR_RETURN(stored.bytes,
+                              SjpgEncode(to_encode, {.quality = 90}));
+        break;
+      }
+      case StorageFormat::kThumbSjpgQ95: {
+        SMOL_ASSIGN_OR_RETURN(stored.bytes,
+                              SjpgEncode(to_encode, {.quality = 95}));
+        break;
+      }
+      case StorageFormat::kThumbSjpgQ75: {
+        SMOL_ASSIGN_OR_RETURN(stored.bytes,
+                              SjpgEncode(to_encode, {.quality = 75}));
+        break;
+      }
+    }
+    out.push_back(std::move(stored));
+  }
+  return out;
+}
+
+Result<Image> ImageDataset::DecodeStored(const StoredImage& stored,
+                                         StorageFormat format) {
+  switch (format) {
+    case StorageFormat::kFullSpng:
+    case StorageFormat::kThumbSpng:
+      return SpngDecode(stored.bytes);
+    case StorageFormat::kFullSjpg:
+    case StorageFormat::kThumbSjpgQ95:
+    case StorageFormat::kThumbSjpgQ75:
+      return SjpgDecode(stored.bytes);
+  }
+  return Status::InvalidArgument("bad format");
+}
+
+Result<LabeledImages> ImageDataset::TestSetViaFormat(
+    StorageFormat format) const {
+  SMOL_ASSIGN_OR_RETURN(auto stored, EncodeTestSet(format));
+  LabeledImages out;
+  out.num_classes = spec_.num_classes;
+  out.images.reserve(stored.size());
+  out.labels.reserve(stored.size());
+  for (const StoredImage& s : stored) {
+    SMOL_ASSIGN_OR_RETURN(Image img, DecodeStored(s, format));
+    if (IsThumbnail(format)) {
+      // Upscale to the DNN's expected (full) resolution, as §5.2 prescribes.
+      img = ResizeBilinear(img, spec_.full_width, spec_.full_height);
+    }
+    out.images.push_back(std::move(img));
+    out.labels.push_back(s.label);
+  }
+  return out;
+}
+
+}  // namespace smol

@@ -1,0 +1,92 @@
+// The evaluation datasets: four synthetic image classification datasets
+// mirroring Table 6's difficulty ladder, each materializable in multiple
+// stored formats (full-resolution SPNG/SJPG, thumbnail SPNG/SJPG at several
+// qualities) — the F axis of Smol's D x F plan space.
+#ifndef SMOL_DATA_DATASETS_H_
+#define SMOL_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/codec/image.h"
+#include "src/dnn/trainer.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief Configuration of one evaluation dataset.
+///
+/// Sizes are scaled down from Table 6 so real training fits a CPU budget;
+/// the difficulty *ordering* (class count, variation, noise) matches the
+/// paper: bike-bird easiest ... imagenet hardest.
+struct DatasetSpec {
+  std::string name;
+  int num_classes;
+  int train_size;
+  int test_size;
+  int full_width;   ///< "full resolution" stored size
+  int full_height;
+  int thumb_size;   ///< thumbnail short side (the paper's 161px analogue)
+  double noise;
+  double variation;
+  uint64_t seed;
+};
+
+/// The four image datasets of the evaluation (§8.1, Table 6 analogues).
+const std::vector<DatasetSpec>& ImageDatasetSpecs();
+Result<DatasetSpec> FindImageDataset(const std::string& name);
+
+/// \brief A stored representation of an image: encoded bytes + format tag.
+struct StoredImage {
+  std::vector<uint8_t> bytes;
+  int label = 0;
+};
+
+/// Stored-format variants of a dataset (the F in D x F).
+enum class StorageFormat {
+  kFullSpng,    ///< full resolution, lossless
+  kFullSjpg,    ///< full resolution, SJPG q=90
+  kThumbSpng,   ///< thumbnail, lossless ("161 PNG")
+  kThumbSjpgQ95,
+  kThumbSjpgQ75,
+};
+
+const char* StorageFormatName(StorageFormat format);
+
+/// True if the format stores thumbnails (reduced resolution).
+bool IsThumbnail(StorageFormat format);
+
+/// \brief Materialized dataset: decoded pixels for training, plus encoders
+/// for producing the stored-format variants the runtime decodes.
+class ImageDataset {
+ public:
+  /// Generates the dataset deterministically from its spec.
+  static Result<ImageDataset> Generate(const DatasetSpec& spec);
+
+  const DatasetSpec& spec() const { return spec_; }
+
+  /// Full-resolution pixel data (training uses these directly).
+  const LabeledImages& train() const { return train_; }
+  const LabeledImages& test() const { return test_; }
+
+  /// Encodes the test set into a stored format (what the runtime ingests).
+  Result<std::vector<StoredImage>> EncodeTestSet(StorageFormat format) const;
+
+  /// Decodes one stored image back to pixels (any format).
+  static Result<Image> DecodeStored(const StoredImage& stored,
+                                    StorageFormat format);
+
+  /// The test set as seen through a stored format: encode + decode (+
+  /// upscale thumbnails back to full resolution), i.e. exactly the pixels a
+  /// DNN sees at inference time. Used for accuracy profiling per format.
+  Result<LabeledImages> TestSetViaFormat(StorageFormat format) const;
+
+ private:
+  DatasetSpec spec_;
+  LabeledImages train_;
+  LabeledImages test_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_DATA_DATASETS_H_

@@ -1,0 +1,126 @@
+#include "src/data/synth_image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smol {
+
+SynthImageGenerator::SynthImageGenerator(SynthImageOptions options)
+    : options_(options) {}
+
+SynthImageGenerator::ClassSignature SynthImageGenerator::SignatureFor(
+    int label) const {
+  Rng rng(options_.seed * 1000003 + static_cast<uint64_t>(label) * 97);
+  ClassSignature sig;
+  for (auto& color : sig.palette) {
+    // Saturated, well-separated colors: pick a hue-ish triple.
+    color[0] = static_cast<uint8_t>(40 + rng.Uniform(200));
+    color[1] = static_cast<uint8_t>(40 + rng.Uniform(200));
+    color[2] = static_cast<uint8_t>(40 + rng.Uniform(200));
+  }
+  sig.shape_family = static_cast<int>(rng.Uniform(4));
+  sig.texture_freq = rng.UniformDouble(0.05, 0.45);
+  sig.base_angle = rng.UniformDouble(0.0, 3.14159);
+  return sig;
+}
+
+namespace {
+
+void DrawShape(Image* img, int family, double cx, double cy, double radius,
+               double angle, const uint8_t color[3]) {
+  const int w = img->width();
+  const int h = img->height();
+  const int x0 = std::max(0, static_cast<int>(cx - radius * 1.5));
+  const int x1 = std::min(w - 1, static_cast<int>(cx + radius * 1.5));
+  const int y0 = std::max(0, static_cast<int>(cy - radius * 1.5));
+  const int y1 = std::min(h - 1, static_cast<int>(cy + radius * 1.5));
+  const double ca = std::cos(angle);
+  const double sa = std::sin(angle);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const double rx = dx * ca + dy * sa;
+      const double ry = -dx * sa + dy * ca;
+      bool inside = false;
+      switch (family) {
+        case 0:  // rectangle
+          inside = std::abs(rx) < radius && std::abs(ry) < radius * 0.6;
+          break;
+        case 1:  // disc
+          inside = rx * rx + ry * ry < radius * radius;
+          break;
+        case 2:  // stripes
+          inside = std::abs(rx) < radius * 1.2 && std::abs(ry) < radius &&
+                   (static_cast<int>((rx + 100.0) / 3.0) % 2 == 0);
+          break;
+        case 3: {  // ring
+          const double r2 = rx * rx + ry * ry;
+          inside = r2 < radius * radius && r2 > radius * radius * 0.4;
+          break;
+        }
+      }
+      if (inside) {
+        for (int c = 0; c < 3; ++c) img->at(x, y, c) = color[c];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Image SynthImageGenerator::Generate(int label, uint64_t index) const {
+  const ClassSignature sig = SignatureFor(label);
+  Rng rng(options_.seed * 7919 + static_cast<uint64_t>(label) * 2654435761ULL +
+          index * 1099511628211ULL);
+  const int w = options_.width;
+  const int h = options_.height;
+  Image img(w, h, 3);
+
+  // Background: class-colored low-frequency gradient with variation.
+  const double v = options_.variation;
+  const double fx = sig.texture_freq * (1.0 + v * rng.UniformDouble(-0.5, 0.5));
+  const double fy = sig.texture_freq * (1.0 + v * rng.UniformDouble(-0.5, 0.5));
+  const double phase = rng.UniformDouble(0.0, 6.28) * v;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double t =
+          0.5 + 0.5 * std::sin(fx * x + phase) * std::cos(fy * y - phase);
+      for (int c = 0; c < 3; ++c) {
+        const double bg = sig.palette[0][c] * t + sig.palette[1][c] * (1.0 - t);
+        img.at(x, y, c) = static_cast<uint8_t>(std::clamp(bg, 0.0, 255.0));
+      }
+    }
+  }
+
+  // Main class shape: position/scale/rotation jittered by the variation knob.
+  const double cx = w * (0.5 + v * rng.UniformDouble(-0.25, 0.25));
+  const double cy = h * (0.5 + v * rng.UniformDouble(-0.25, 0.25));
+  const double radius =
+      std::min(w, h) * (0.28 + v * rng.UniformDouble(-0.12, 0.12));
+  const double angle = sig.base_angle + v * rng.UniformDouble(-0.8, 0.8);
+  DrawShape(&img, sig.shape_family, cx, cy, radius, angle, sig.palette[2]);
+
+  // Distractor from a different class (makes the task non-trivial).
+  if (options_.num_classes > 1 && rng.Bernoulli(options_.distractor_prob)) {
+    const int other = (label + 1 + static_cast<int>(rng.Uniform(
+                                       static_cast<uint64_t>(
+                                           options_.num_classes - 1)))) %
+                      options_.num_classes;
+    const ClassSignature osig = SignatureFor(other);
+    DrawShape(&img, osig.shape_family, w * rng.UniformDouble(0.1, 0.9),
+              h * rng.UniformDouble(0.1, 0.9), std::min(w, h) * 0.12,
+              osig.base_angle, osig.palette[2]);
+  }
+
+  // Pixel noise.
+  if (options_.noise > 0.0) {
+    for (size_t i = 0; i < img.size_bytes(); ++i) {
+      const double noisy = img.data()[i] + rng.Normal(0.0, options_.noise);
+      img.data()[i] = static_cast<uint8_t>(std::clamp(noisy, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+}  // namespace smol

@@ -1,0 +1,154 @@
+#include "src/data/synth_video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace smol {
+
+const std::vector<VideoDatasetSpec>& VideoDatasetSpecs() {
+  // Traffic intensities loosely mirror the BlazeIt scenes: night-street is
+  // sparse (night traffic), taipei and rialto are busy, amsterdam moderate.
+  static const std::vector<VideoDatasetSpec> kSpecs = {
+      {"night-street", 96, 64, 48, 32, 600, 0.7, 10.0, 1001},
+      {"taipei", 96, 64, 48, 32, 600, 2.2, 8.0, 2002},
+      {"amsterdam", 96, 64, 48, 32, 600, 1.2, 8.0, 3003},
+      {"rialto", 96, 64, 48, 32, 600, 2.8, 9.0, 4004},
+  };
+  return kSpecs;
+}
+
+Result<VideoDatasetSpec> FindVideoDataset(const std::string& name) {
+  for (const auto& spec : VideoDatasetSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown video dataset: " + name);
+}
+
+double SyntheticVideo::MeanCount() const {
+  if (object_counts.empty()) return 0.0;
+  double sum = 0.0;
+  for (int c : object_counts) sum += c;
+  return sum / static_cast<double>(object_counts.size());
+}
+
+namespace {
+
+struct MovingObject {
+  double x, y;        // center
+  double vx, vy;      // velocity, px/frame
+  double size;
+  uint8_t color[3];
+  int frames_left;
+};
+
+Image MakeBackground(const VideoDatasetSpec& spec) {
+  Image bg(spec.width, spec.height, 3);
+  Rng rng(spec.seed);
+  const double fx = rng.UniformDouble(0.02, 0.08);
+  const double fy = rng.UniformDouble(0.02, 0.08);
+  for (int y = 0; y < spec.height; ++y) {
+    for (int x = 0; x < spec.width; ++x) {
+      // A road band across the middle, textured surroundings.
+      const bool road = y > spec.height * 0.35 && y < spec.height * 0.65;
+      const double t = 0.5 + 0.4 * std::sin(fx * x) * std::cos(fy * y);
+      const uint8_t base = road ? 60 : static_cast<uint8_t>(90 + 80 * t);
+      bg.at(x, y, 0) = base;
+      bg.at(x, y, 1) = static_cast<uint8_t>(base * (road ? 1.0 : 0.9));
+      bg.at(x, y, 2) = static_cast<uint8_t>(base * (road ? 1.05 : 0.8));
+    }
+  }
+  return bg;
+}
+
+void DrawObject(Image* frame, const MovingObject& obj) {
+  const int w = frame->width();
+  const int h = frame->height();
+  const int x0 = std::max(0, static_cast<int>(obj.x - obj.size));
+  const int x1 = std::min(w - 1, static_cast<int>(obj.x + obj.size));
+  const int y0 = std::max(0, static_cast<int>(obj.y - obj.size * 0.6));
+  const int y1 = std::min(h - 1, static_cast<int>(obj.y + obj.size * 0.6));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      for (int c = 0; c < 3; ++c) frame->at(x, y, c) = obj.color[c];
+    }
+  }
+  // "Windshield" detail so objects are not flat rectangles.
+  const int wx0 = std::max(0, static_cast<int>(obj.x - obj.size * 0.4));
+  const int wx1 = std::min(w - 1, static_cast<int>(obj.x + obj.size * 0.4));
+  const int wy = std::clamp(static_cast<int>(obj.y - obj.size * 0.2), 0, h - 1);
+  for (int x = wx0; x <= wx1; ++x) {
+    frame->at(x, wy, 0) = 200;
+    frame->at(x, wy, 1) = 220;
+    frame->at(x, wy, 2) = 240;
+  }
+}
+
+}  // namespace
+
+Result<SyntheticVideo> GenerateVideo(const VideoDatasetSpec& spec) {
+  if (spec.num_frames <= 0) return Status::InvalidArgument("no frames");
+  SyntheticVideo video;
+  video.spec = spec;
+  video.frames.reserve(spec.num_frames);
+  video.object_counts.reserve(spec.num_frames);
+
+  const Image background = MakeBackground(spec);
+  Rng rng(spec.seed * 31 + 7);
+  std::vector<MovingObject> objects;
+  // Arrival rate chosen so the steady-state on-screen count ~ mean_objects.
+  const double mean_transit =
+      spec.width / 1.5;  // frames to cross at typical speed
+  const double arrival_prob = spec.mean_objects / mean_transit;
+
+  for (int f = 0; f < spec.num_frames; ++f) {
+    // Spawn.
+    if (rng.UniformDouble() < arrival_prob * 2.0 &&
+        objects.size() < static_cast<size_t>(spec.mean_objects * 3 + 3)) {
+      MovingObject obj;
+      const bool from_left = rng.Bernoulli(0.5);
+      obj.size = rng.UniformDouble(4.0, 8.0);
+      obj.x = from_left ? -obj.size : spec.width + obj.size;
+      obj.y = spec.height * rng.UniformDouble(0.40, 0.60);
+      obj.vx = (from_left ? 1.0 : -1.0) * rng.UniformDouble(1.0, 2.0);
+      obj.vy = 0.0;
+      obj.color[0] = static_cast<uint8_t>(120 + rng.Uniform(130));
+      obj.color[1] = static_cast<uint8_t>(30 + rng.Uniform(100));
+      obj.color[2] = static_cast<uint8_t>(30 + rng.Uniform(100));
+      obj.frames_left = spec.num_frames;
+      objects.push_back(obj);
+    }
+    // Advance and cull.
+    for (auto& obj : objects) {
+      obj.x += obj.vx;
+      obj.y += obj.vy;
+    }
+    objects.erase(
+        std::remove_if(objects.begin(), objects.end(),
+                       [&](const MovingObject& o) {
+                         return o.x < -2 * o.size ||
+                                o.x > spec.width + 2 * o.size;
+                       }),
+        objects.end());
+
+    // Render.
+    Image frame = background;
+    int count = 0;
+    for (const auto& obj : objects) {
+      if (obj.x >= 0 && obj.x < spec.width) ++count;
+      DrawObject(&frame, obj);
+    }
+    if (spec.noise > 0.0) {
+      for (size_t i = 0; i < frame.size_bytes(); ++i) {
+        const double noisy = frame.data()[i] + rng.Normal(0.0, spec.noise);
+        frame.data()[i] = static_cast<uint8_t>(std::clamp(noisy, 0.0, 255.0));
+      }
+    }
+    video.frames.push_back(std::move(frame));
+    video.object_counts.push_back(count);
+  }
+  return video;
+}
+
+}  // namespace smol

@@ -1,0 +1,71 @@
+#include "src/dnn/gemm.h"
+
+#include <cstring>
+#include <vector>
+
+namespace smol {
+
+namespace {
+// Register-blocked inner kernel: accumulate 1 row of A against B.
+inline void AxpyRow(const float* a_row, const float* b, float* c_row, int k,
+                    int n) {
+  for (int p = 0; p < k; ++p) {
+    const float a_val = a_row[p];
+    if (a_val == 0.0f) continue;
+    const float* b_row = b + static_cast<size_t>(p) * n;
+    for (int j = 0; j < n; ++j) {
+      c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
+  }
+  for (int i = 0; i < m; ++i) {
+    AxpyRow(a + static_cast<size_t>(i) * k, b, c + static_cast<size_t>(i) * n,
+            k, n);
+  }
+}
+
+void GemmTransA(const float* a, const float* b, float* c, int m, int k, int n,
+                bool accumulate) {
+  // A stored [k x m]; A^T row i is the i-th column of A.
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
+  }
+  for (int p = 0; p < k; ++p) {
+    const float* a_row = a + static_cast<size_t>(p) * m;
+    const float* b_row = b + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float a_val = a_row[i];
+      if (a_val == 0.0f) continue;
+      float* c_row = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        c_row[j] += a_val * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmTransB(const float* a, const float* b, float* c, int m, int k, int n,
+                bool accumulate) {
+  // B stored [n x k]; C[i][j] = dot(A row i, B row j).
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a + static_cast<size_t>(i) * k;
+    float* c_row = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b + static_cast<size_t>(j) * k;
+      float acc = accumulate ? c_row[j] : 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc += a_row[p] * b_row[p];
+      }
+      c_row[j] = acc;
+    }
+  }
+}
+
+}  // namespace smol

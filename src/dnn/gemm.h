@@ -1,0 +1,23 @@
+// Small blocked GEMM used by conv (im2col) and linear layers.
+#ifndef SMOL_DNN_GEMM_H_
+#define SMOL_DNN_GEMM_H_
+
+#include <cstddef>
+
+namespace smol {
+
+/// C[m x n] = A[m x k] * B[k x n] (+ C if accumulate). Row-major.
+void Gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate = false);
+
+/// C[m x n] = A^T[m x k] * B[k x n] where A is stored [k x m]. Row-major.
+void GemmTransA(const float* a, const float* b, float* c, int m, int k, int n,
+                bool accumulate = false);
+
+/// C[m x n] = A[m x k] * B^T[k x n] where B is stored [n x k]. Row-major.
+void GemmTransB(const float* a, const float* b, float* c, int m, int k, int n,
+                bool accumulate = false);
+
+}  // namespace smol
+
+#endif  // SMOL_DNN_GEMM_H_

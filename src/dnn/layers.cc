@@ -1,0 +1,644 @@
+#include "src/dnn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/dnn/gemm.h"
+#include "src/util/macros.h"
+
+namespace smol {
+
+namespace {
+
+// He-normal initialization for conv/linear weights.
+void HeInit(Tensor* t, int fan_in, Rng* rng) {
+  const double stddev = std::sqrt(2.0 / std::max(1, fan_in));
+  for (size_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+}
+
+Status CheckNchw(const Tensor& t, const char* who) {
+  if (t.ndim() != 4) {
+    return Status::InvalidArgument(std::string(who) + ": expected NCHW input");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- Conv2d -------------------------------------------------------------------
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  weight_.name = "conv.weight";
+  weight_.value = Tensor({out_channels, in_channels * kernel * kernel});
+  HeInit(&weight_.value, in_channels * kernel * kernel, rng);
+  weight_.grad = Tensor(weight_.value.shape());
+  bias_.name = "conv.bias";
+  bias_.value = Tensor({out_channels});
+  bias_.grad = Tensor({out_channels});
+}
+
+int64_t Conv2d::MacsPerSample(int in_h, int in_w) const {
+  const int out_h = (in_h + 2 * pad_ - kernel_) / stride_ + 1;
+  const int out_w = (in_w + 2 * pad_ - kernel_) / stride_ + 1;
+  return static_cast<int64_t>(out_h) * out_w * out_channels_ * in_channels_ *
+         kernel_ * kernel_;
+}
+
+void Conv2d::Im2Col(const Tensor& input, int n, std::vector<float>* cols) const {
+  const int in_h = input.dim(2);
+  const int in_w = input.dim(3);
+  const int out_h = (in_h + 2 * pad_ - kernel_) / stride_ + 1;
+  const int out_w = (in_w + 2 * pad_ - kernel_) / stride_ + 1;
+  // cols layout: [in_c * k * k, out_h * out_w]
+  cols->assign(static_cast<size_t>(in_channels_) * kernel_ * kernel_ * out_h *
+                   out_w,
+               0.0f);
+  const int spatial = out_h * out_w;
+  for (int c = 0; c < in_channels_; ++c) {
+    for (int ky = 0; ky < kernel_; ++ky) {
+      for (int kx = 0; kx < kernel_; ++kx) {
+        const int row = (c * kernel_ + ky) * kernel_ + kx;
+        float* dst = cols->data() + static_cast<size_t>(row) * spatial;
+        for (int oy = 0; oy < out_h; ++oy) {
+          const int iy = oy * stride_ + ky - pad_;
+          if (iy < 0 || iy >= in_h) continue;
+          for (int ox = 0; ox < out_w; ++ox) {
+            const int ix = ox * stride_ + kx - pad_;
+            if (ix < 0 || ix >= in_w) continue;
+            dst[oy * out_w + ox] = input.at4(n, c, iy, ix);
+          }
+        }
+      }
+    }
+  }
+}
+
+Result<Tensor> Conv2d::Forward(const Tensor& input, bool training) {
+  SMOL_RETURN_IF_ERROR(CheckNchw(input, "Conv2d"));
+  if (input.dim(1) != in_channels_) {
+    return Status::InvalidArgument("Conv2d: channel mismatch");
+  }
+  const int batch = input.dim(0);
+  const int in_h = input.dim(2);
+  const int in_w = input.dim(3);
+  const int out_h = (in_h + 2 * pad_ - kernel_) / stride_ + 1;
+  const int out_w = (in_w + 2 * pad_ - kernel_) / stride_ + 1;
+  if (out_h <= 0 || out_w <= 0) {
+    return Status::InvalidArgument("Conv2d: input too small for kernel");
+  }
+  Tensor out({batch, out_channels_, out_h, out_w});
+  const int k_dim = in_channels_ * kernel_ * kernel_;
+  const int spatial = out_h * out_w;
+  std::vector<float> cols;
+  for (int n = 0; n < batch; ++n) {
+    Im2Col(input, n, &cols);
+    // out[n] = weight [out_c x k_dim] * cols [k_dim x spatial]
+    Gemm(weight_.value.data(), cols.data(),
+         out.data() + static_cast<size_t>(n) * out_channels_ * spatial,
+         out_channels_, k_dim, spatial);
+  }
+  // Bias.
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < out_channels_; ++c) {
+      float* dst = out.data() +
+                   (static_cast<size_t>(n) * out_channels_ + c) * spatial;
+      const float b = bias_.value[c];
+      for (int i = 0; i < spatial; ++i) dst[i] += b;
+    }
+  }
+  if (training) cached_input_ = input;
+  return out;
+}
+
+Result<Tensor> Conv2d::Backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  if (input.empty()) return Status::Internal("Conv2d::Backward before Forward");
+  const int batch = input.dim(0);
+  const int in_h = input.dim(2);
+  const int in_w = input.dim(3);
+  const int out_h = grad_output.dim(2);
+  const int out_w = grad_output.dim(3);
+  const int k_dim = in_channels_ * kernel_ * kernel_;
+  const int spatial = out_h * out_w;
+
+  Tensor grad_input(input.shape());
+  std::vector<float> cols;
+  std::vector<float> grad_cols(static_cast<size_t>(k_dim) * spatial);
+  for (int n = 0; n < batch; ++n) {
+    const float* gout =
+        grad_output.data() + static_cast<size_t>(n) * out_channels_ * spatial;
+    // dW += gout [out_c x spatial] * cols^T [spatial x k_dim]
+    Im2Col(input, n, &cols);
+    GemmTransB(gout, cols.data(), weight_.grad.data(), out_channels_, spatial,
+               k_dim, /*accumulate=*/true);
+    // db += row sums of gout.
+    for (int c = 0; c < out_channels_; ++c) {
+      float acc = 0.0f;
+      const float* row = gout + static_cast<size_t>(c) * spatial;
+      for (int i = 0; i < spatial; ++i) acc += row[i];
+      bias_.grad[c] += acc;
+    }
+    // grad_cols = W^T [k_dim x out_c] * gout [out_c x spatial]
+    GemmTransA(weight_.value.data(), gout, grad_cols.data(), k_dim,
+               out_channels_, spatial);
+    // col2im scatter-add into grad_input.
+    for (int c = 0; c < in_channels_; ++c) {
+      for (int ky = 0; ky < kernel_; ++ky) {
+        for (int kx = 0; kx < kernel_; ++kx) {
+          const int row = (c * kernel_ + ky) * kernel_ + kx;
+          const float* src = grad_cols.data() + static_cast<size_t>(row) * spatial;
+          for (int oy = 0; oy < out_h; ++oy) {
+            const int iy = oy * stride_ + ky - pad_;
+            if (iy < 0 || iy >= in_h) continue;
+            for (int ox = 0; ox < out_w; ++ox) {
+              const int ix = ox * stride_ + kx - pad_;
+              if (ix < 0 || ix >= in_w) continue;
+              grad_input.at4(n, c, iy, ix) += src[oy * out_w + ox];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+// --- BatchNorm2d ------------------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(int channels) : channels_(channels) {
+  gamma_.name = "bn.gamma";
+  gamma_.value = Tensor({channels});
+  gamma_.value.Fill(1.0f);
+  gamma_.grad = Tensor({channels});
+  beta_.name = "bn.beta";
+  beta_.value = Tensor({channels});
+  beta_.grad = Tensor({channels});
+  running_mean_ = Tensor({channels});
+  running_var_ = Tensor({channels});
+  running_var_.Fill(1.0f);
+}
+
+Result<Tensor> BatchNorm2d::Forward(const Tensor& input, bool training) {
+  SMOL_RETURN_IF_ERROR(CheckNchw(input, "BatchNorm2d"));
+  if (input.dim(1) != channels_) {
+    return Status::InvalidArgument("BatchNorm2d: channel mismatch");
+  }
+  const int batch = input.dim(0);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const int spatial = h * w;
+  const size_t per_channel = static_cast<size_t>(batch) * spatial;
+  Tensor out(input.shape());
+
+  if (training) {
+    cached_mean_.assign(channels_, 0.0f);
+    cached_inv_std_.assign(channels_, 0.0f);
+    for (int c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      for (int n = 0; n < batch; ++n) {
+        const float* src =
+            input.data() + (static_cast<size_t>(n) * channels_ + c) * spatial;
+        for (int i = 0; i < spatial; ++i) sum += src[i];
+      }
+      const double mean = sum / static_cast<double>(per_channel);
+      double var = 0.0;
+      for (int n = 0; n < batch; ++n) {
+        const float* src =
+            input.data() + (static_cast<size_t>(n) * channels_ + c) * spatial;
+        for (int i = 0; i < spatial; ++i) {
+          const double d = src[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(per_channel);
+      cached_mean_[c] = static_cast<float>(mean);
+      cached_inv_std_[c] = static_cast<float>(1.0 / std::sqrt(var + eps_));
+      running_mean_[c] = (1 - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[c] =
+          (1 - momentum_) * running_var_[c] + momentum_ * static_cast<float>(var);
+    }
+    cached_input_ = input;
+    cached_normalized_ = Tensor(input.shape());
+    for (int n = 0; n < batch; ++n) {
+      for (int c = 0; c < channels_; ++c) {
+        const float mean = cached_mean_[c];
+        const float inv_std = cached_inv_std_[c];
+        const float g = gamma_.value[c];
+        const float b = beta_.value[c];
+        const float* src =
+            input.data() + (static_cast<size_t>(n) * channels_ + c) * spatial;
+        float* norm = cached_normalized_.data() +
+                      (static_cast<size_t>(n) * channels_ + c) * spatial;
+        float* dst =
+            out.data() + (static_cast<size_t>(n) * channels_ + c) * spatial;
+        for (int i = 0; i < spatial; ++i) {
+          norm[i] = (src[i] - mean) * inv_std;
+          dst[i] = g * norm[i] + b;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Inference: running statistics.
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels_; ++c) {
+      const float mean = running_mean_[c];
+      const float inv_std =
+          1.0f / std::sqrt(running_var_[c] + eps_);
+      const float g = gamma_.value[c];
+      const float b = beta_.value[c];
+      const float* src =
+          input.data() + (static_cast<size_t>(n) * channels_ + c) * spatial;
+      float* dst =
+          out.data() + (static_cast<size_t>(n) * channels_ + c) * spatial;
+      for (int i = 0; i < spatial; ++i) {
+        dst[i] = g * (src[i] - mean) * inv_std + b;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Tensor> BatchNorm2d::Backward(const Tensor& grad_output) {
+  const Tensor& x = cached_input_;
+  if (x.empty()) return Status::Internal("BatchNorm2d::Backward before Forward");
+  const int batch = x.dim(0);
+  const int spatial = x.dim(2) * x.dim(3);
+  const double m = static_cast<double>(batch) * spatial;
+  Tensor grad_input(x.shape());
+  for (int c = 0; c < channels_; ++c) {
+    // Accumulate dgamma, dbeta and the two reduction terms.
+    double dgamma = 0.0, dbeta = 0.0, sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int n = 0; n < batch; ++n) {
+      const float* gout = grad_output.data() +
+                          (static_cast<size_t>(n) * channels_ + c) * spatial;
+      const float* xhat = cached_normalized_.data() +
+                          (static_cast<size_t>(n) * channels_ + c) * spatial;
+      for (int i = 0; i < spatial; ++i) {
+        dgamma += static_cast<double>(gout[i]) * xhat[i];
+        dbeta += gout[i];
+      }
+    }
+    sum_dy = dbeta;
+    sum_dy_xhat = dgamma;
+    gamma_.grad[c] += static_cast<float>(dgamma);
+    beta_.grad[c] += static_cast<float>(dbeta);
+    const double g = gamma_.value[c];
+    const double inv_std = cached_inv_std_[c];
+    for (int n = 0; n < batch; ++n) {
+      const float* gout = grad_output.data() +
+                          (static_cast<size_t>(n) * channels_ + c) * spatial;
+      const float* xhat = cached_normalized_.data() +
+                          (static_cast<size_t>(n) * channels_ + c) * spatial;
+      float* gin = grad_input.data() +
+                   (static_cast<size_t>(n) * channels_ + c) * spatial;
+      for (int i = 0; i < spatial; ++i) {
+        gin[i] = static_cast<float>(
+            g * inv_std *
+            (gout[i] - sum_dy / m - xhat[i] * sum_dy_xhat / m));
+      }
+    }
+  }
+  return grad_input;
+}
+
+// --- Relu -------------------------------------------------------------------------
+
+Result<Tensor> Relu::Forward(const Tensor& input, bool training) {
+  Tensor out(input.shape());
+  for (size_t i = 0; i < input.size(); ++i) {
+    out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  }
+  if (training) cached_input_ = input;
+  return out;
+}
+
+Result<Tensor> Relu::Backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    return Status::Internal("Relu::Backward before Forward");
+  }
+  Tensor grad_input(cached_input_.shape());
+  for (size_t i = 0; i < grad_input.size(); ++i) {
+    grad_input[i] = cached_input_[i] > 0.0f ? grad_output[i] : 0.0f;
+  }
+  return grad_input;
+}
+
+// --- MaxPool2d ----------------------------------------------------------------------
+
+Result<Tensor> MaxPool2d::Forward(const Tensor& input, bool training) {
+  SMOL_RETURN_IF_ERROR(CheckNchw(input, "MaxPool2d"));
+  const int batch = input.dim(0);
+  const int channels = input.dim(1);
+  const int in_h = input.dim(2);
+  const int in_w = input.dim(3);
+  const int out_h = in_h / 2;
+  const int out_w = in_w / 2;
+  if (out_h == 0 || out_w == 0) {
+    return Status::InvalidArgument("MaxPool2d: input too small");
+  }
+  Tensor out({batch, channels, out_h, out_w});
+  if (training) {
+    argmax_.assign(out.size(), 0);
+    cached_input_ = input;
+  }
+  size_t oi = 0;
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox, ++oi) {
+          float best = -1e30f;
+          int best_idx = 0;
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const int iy = oy * 2 + dy;
+              const int ix = ox * 2 + dx;
+              const float v = input.at4(n, c, iy, ix);
+              if (v > best) {
+                best = v;
+                best_idx = ((n * channels + c) * in_h + iy) * in_w + ix;
+              }
+            }
+          }
+          out[oi] = best;
+          if (training) argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<Tensor> MaxPool2d::Backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    return Status::Internal("MaxPool2d::Backward before Forward");
+  }
+  Tensor grad_input(cached_input_.shape());
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    grad_input[static_cast<size_t>(argmax_[i])] += grad_output[i];
+  }
+  return grad_input;
+}
+
+// --- GlobalAvgPool ---------------------------------------------------------------------
+
+Result<Tensor> GlobalAvgPool::Forward(const Tensor& input, bool training) {
+  SMOL_RETURN_IF_ERROR(CheckNchw(input, "GlobalAvgPool"));
+  const int batch = input.dim(0);
+  const int channels = input.dim(1);
+  const int spatial = input.dim(2) * input.dim(3);
+  Tensor out({batch, channels});
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float* src =
+          input.data() + (static_cast<size_t>(n) * channels + c) * spatial;
+      float acc = 0.0f;
+      for (int i = 0; i < spatial; ++i) acc += src[i];
+      out[static_cast<size_t>(n) * channels + c] = acc / spatial;
+    }
+  }
+  if (training) {
+    cached_shape_ = input.shape();
+  }
+  return out;
+}
+
+Result<Tensor> GlobalAvgPool::Backward(const Tensor& grad_output) {
+  if (cached_shape_.empty()) {
+    return Status::Internal("GlobalAvgPool::Backward before Forward");
+  }
+  const int batch = cached_shape_[0];
+  const int channels = cached_shape_[1];
+  const int spatial = cached_shape_[2] * cached_shape_[3];
+  Tensor grad_input(cached_shape_);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float g =
+          grad_output[static_cast<size_t>(n) * channels + c] / spatial;
+      float* dst = grad_input.data() +
+                   (static_cast<size_t>(n) * channels + c) * spatial;
+      for (int i = 0; i < spatial; ++i) dst[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+// --- Linear ---------------------------------------------------------------------------
+
+Linear::Linear(int in_features, int out_features, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_.name = "linear.weight";
+  weight_.value = Tensor({out_features, in_features});
+  HeInit(&weight_.value, in_features, rng);
+  weight_.grad = Tensor(weight_.value.shape());
+  bias_.name = "linear.bias";
+  bias_.value = Tensor({out_features});
+  bias_.grad = Tensor({out_features});
+}
+
+Result<Tensor> Linear::Forward(const Tensor& input, bool training) {
+  if (input.ndim() != 2 || input.dim(1) != in_features_) {
+    return Status::InvalidArgument("Linear: expected [N, in_features]");
+  }
+  const int batch = input.dim(0);
+  Tensor out({batch, out_features_});
+  // out = input [N x in] * weight^T [in x out]
+  GemmTransB(input.data(), weight_.value.data(), out.data(), batch,
+             in_features_, out_features_);
+  for (int n = 0; n < batch; ++n) {
+    for (int o = 0; o < out_features_; ++o) {
+      out[static_cast<size_t>(n) * out_features_ + o] += bias_.value[o];
+    }
+  }
+  if (training) cached_input_ = input;
+  return out;
+}
+
+Result<Tensor> Linear::Backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    return Status::Internal("Linear::Backward before Forward");
+  }
+  const int batch = cached_input_.dim(0);
+  // dW += gout^T [out x N] * input [N x in]
+  GemmTransA(grad_output.data(), cached_input_.data(), weight_.grad.data(),
+             out_features_, batch, in_features_, /*accumulate=*/true);
+  for (int n = 0; n < batch; ++n) {
+    for (int o = 0; o < out_features_; ++o) {
+      bias_.grad[o] += grad_output[static_cast<size_t>(n) * out_features_ + o];
+    }
+  }
+  // dX = gout [N x out] * W [out x in]
+  Tensor grad_input({batch, in_features_});
+  Gemm(grad_output.data(), weight_.value.data(), grad_input.data(), batch,
+       out_features_, in_features_);
+  return grad_input;
+}
+
+// --- ResidualBlock ------------------------------------------------------------------------
+
+ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride,
+                             Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      stride_(stride) {
+  conv1_ = std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1,
+                                    rng);
+  bn1_ = std::make_unique<BatchNorm2d>(out_channels);
+  relu1_ = std::make_unique<Relu>();
+  conv2_ = std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1, rng);
+  bn2_ = std::make_unique<BatchNorm2d>(out_channels);
+  if (in_channels != out_channels || stride != 1) {
+    proj_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0,
+                                     rng);
+    proj_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+std::vector<Parameter*> ResidualBlock::Params() {
+  std::vector<Parameter*> params;
+  for (Layer* l : SubLayers()) {
+    for (Parameter* p : l->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Layer*> ResidualBlock::SubLayers() {
+  std::vector<Layer*> layers = {conv1_.get(), bn1_.get(), conv2_.get(),
+                                bn2_.get()};
+  if (proj_ != nullptr) {
+    layers.push_back(proj_.get());
+    layers.push_back(proj_bn_.get());
+  }
+  return layers;
+}
+
+int64_t ResidualBlock::MacsPerSample(int in_h, int in_w) const {
+  int64_t macs = conv1_->MacsPerSample(in_h, in_w);
+  const int mid_h = (in_h + 2 - 3) / stride_ + 1;
+  const int mid_w = (in_w + 2 - 3) / stride_ + 1;
+  macs += conv2_->MacsPerSample(mid_h, mid_w);
+  if (proj_ != nullptr) macs += proj_->MacsPerSample(in_h, in_w);
+  return macs;
+}
+
+Result<Tensor> ResidualBlock::Forward(const Tensor& input, bool training) {
+  SMOL_ASSIGN_OR_RETURN(Tensor h, conv1_->Forward(input, training));
+  SMOL_ASSIGN_OR_RETURN(h, bn1_->Forward(h, training));
+  SMOL_ASSIGN_OR_RETURN(h, relu1_->Forward(h, training));
+  SMOL_ASSIGN_OR_RETURN(h, conv2_->Forward(h, training));
+  SMOL_ASSIGN_OR_RETURN(h, bn2_->Forward(h, training));
+  Tensor skip;
+  if (proj_ != nullptr) {
+    SMOL_ASSIGN_OR_RETURN(skip, proj_->Forward(input, training));
+    SMOL_ASSIGN_OR_RETURN(skip, proj_bn_->Forward(skip, training));
+  } else {
+    skip = input;
+  }
+  if (!h.SameShape(skip)) {
+    return Status::Internal("ResidualBlock: skip shape mismatch");
+  }
+  h.Add(skip);
+  if (training) cached_sum_ = h;
+  // Final ReLU.
+  Tensor out(h.shape());
+  for (size_t i = 0; i < h.size(); ++i) {
+    out[i] = h[i] > 0.0f ? h[i] : 0.0f;
+  }
+  return out;
+}
+
+Result<Tensor> ResidualBlock::Backward(const Tensor& grad_output) {
+  if (cached_sum_.empty()) {
+    return Status::Internal("ResidualBlock::Backward before Forward");
+  }
+  // Through the final ReLU.
+  Tensor grad_sum(cached_sum_.shape());
+  for (size_t i = 0; i < grad_sum.size(); ++i) {
+    grad_sum[i] = cached_sum_[i] > 0.0f ? grad_output[i] : 0.0f;
+  }
+  // Main path.
+  SMOL_ASSIGN_OR_RETURN(Tensor g, bn2_->Backward(grad_sum));
+  SMOL_ASSIGN_OR_RETURN(g, conv2_->Backward(g));
+  SMOL_ASSIGN_OR_RETURN(g, relu1_->Backward(g));
+  SMOL_ASSIGN_OR_RETURN(g, bn1_->Backward(g));
+  SMOL_ASSIGN_OR_RETURN(Tensor grad_input, conv1_->Backward(g));
+  // Skip path.
+  if (proj_ != nullptr) {
+    SMOL_ASSIGN_OR_RETURN(Tensor gs, proj_bn_->Backward(grad_sum));
+    SMOL_ASSIGN_OR_RETURN(gs, proj_->Backward(gs));
+    grad_input.Add(gs);
+  } else {
+    grad_input.Add(grad_sum);
+  }
+  return grad_input;
+}
+
+// --- SoftmaxCrossEntropy ---------------------------------------------------------------------
+
+Result<Tensor> SoftmaxCrossEntropy::Probabilities(const Tensor& logits) {
+  if (logits.ndim() != 2) {
+    return Status::InvalidArgument("softmax expects [N, classes]");
+  }
+  const int batch = logits.dim(0);
+  const int classes = logits.dim(1);
+  Tensor probs(logits.shape());
+  for (int n = 0; n < batch; ++n) {
+    const float* row = logits.data() + static_cast<size_t>(n) * classes;
+    float* out = probs.data() + static_cast<size_t>(n) * classes;
+    float max_v = row[0];
+    for (int c = 1; c < classes; ++c) max_v = std::max(max_v, row[c]);
+    double sum = 0.0;
+    for (int c = 0; c < classes; ++c) {
+      out[c] = std::exp(row[c] - max_v);
+      sum += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int c = 0; c < classes; ++c) out[c] *= inv;
+  }
+  return probs;
+}
+
+Result<double> SoftmaxCrossEntropy::Compute(const Tensor& logits,
+                                            const std::vector<int>& labels,
+                                            Tensor* grad_logits) {
+  if (logits.ndim() != 2 ||
+      logits.dim(0) != static_cast<int>(labels.size())) {
+    return Status::InvalidArgument("loss shape mismatch");
+  }
+  const int batch = logits.dim(0);
+  const int classes = logits.dim(1);
+  for (int label : labels) {
+    if (label < 0 || label >= classes) {
+      return Status::InvalidArgument("label out of range");
+    }
+  }
+  SMOL_ASSIGN_OR_RETURN(Tensor probs, Probabilities(logits));
+  double loss = 0.0;
+  for (int n = 0; n < batch; ++n) {
+    const float p =
+        probs[static_cast<size_t>(n) * classes + labels[n]];
+    loss -= std::log(std::max(p, 1e-12f));
+  }
+  loss /= batch;
+  if (grad_logits != nullptr) {
+    *grad_logits = probs;
+    for (int n = 0; n < batch; ++n) {
+      (*grad_logits)[static_cast<size_t>(n) * classes + labels[n]] -= 1.0f;
+    }
+    grad_logits->Scale(1.0f / static_cast<float>(batch));
+  }
+  return loss;
+}
+
+}  // namespace smol

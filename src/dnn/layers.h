@@ -1,0 +1,231 @@
+// Neural network layers with forward and backward passes.
+//
+// The paper's specialized NNs ("SmolNets", a ResNet-style capacity ladder)
+// are built from these layers and trained with real SGD on this machine —
+// the accuracy phenomena in §5 (capacity vs. accuracy, low-resolution
+// training) are measured, not hardcoded.
+#ifndef SMOL_DNN_LAYERS_H_
+#define SMOL_DNN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dnn/tensor.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace smol {
+
+/// \brief One trainable parameter with its gradient and momentum buffer.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  Tensor momentum;
+  bool trainable = true;
+};
+
+/// \brief Base class for all layers.
+///
+/// Layers cache whatever they need from the forward pass for the backward
+/// pass; Forward(training=false) may skip caching for speed.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual const char* type() const = 0;
+
+  /// Runs the layer; \p training enables caching and train-mode statistics.
+  virtual Result<Tensor> Forward(const Tensor& input, bool training) = 0;
+
+  /// Backpropagates \p grad_output, accumulating parameter gradients;
+  /// returns the gradient with respect to the input.
+  virtual Result<Tensor> Backward(const Tensor& grad_output) = 0;
+
+  /// All trainable parameters (pointers remain owned by the layer).
+  virtual std::vector<Parameter*> Params() { return {}; }
+
+  /// Serializes layer configuration (not weights) as integers.
+  virtual std::vector<int> Config() const { return {}; }
+
+  /// Approximate multiply-accumulate count for one sample at the given input
+  /// spatial size; used by the throughput model to scale costs with depth.
+  virtual int64_t MacsPerSample(int in_h, int in_w) const = 0;
+};
+
+/// 2-D convolution (im2col + GEMM), square kernel, zero padding.
+class Conv2d : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
+         Rng* rng);
+
+  const char* type() const override { return "Conv2d"; }
+  Result<Tensor> Forward(const Tensor& input, bool training) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
+  std::vector<int> Config() const override {
+    return {in_channels_, out_channels_, kernel_, stride_, pad_};
+  }
+  int64_t MacsPerSample(int in_h, int in_w) const override;
+
+  int out_channels() const { return out_channels_; }
+
+ private:
+  void Im2Col(const Tensor& input, int n, std::vector<float>* cols) const;
+
+  int in_channels_, out_channels_, kernel_, stride_, pad_;
+  Parameter weight_;  // [out_c, in_c * k * k]
+  Parameter bias_;    // [out_c]
+  Tensor cached_input_;
+};
+
+/// Batch normalization over channels with running statistics.
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(int channels);
+
+  const char* type() const override { return "BatchNorm2d"; }
+  Result<Tensor> Forward(const Tensor& input, bool training) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override { return {&gamma_, &beta_}; }
+  std::vector<int> Config() const override { return {channels_}; }
+  int64_t MacsPerSample(int in_h, int in_w) const override {
+    return static_cast<int64_t>(channels_) * in_h * in_w * 2;
+  }
+
+  /// Running stats are serialized alongside parameters.
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  int channels_;
+  float momentum_ = 0.1f;
+  float eps_ = 1e-5f;
+  Parameter gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // Caches for backward.
+  Tensor cached_input_, cached_normalized_;
+  std::vector<float> cached_mean_, cached_inv_std_;
+};
+
+/// Rectified linear unit.
+class Relu : public Layer {
+ public:
+  const char* type() const override { return "Relu"; }
+  Result<Tensor> Forward(const Tensor& input, bool training) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  int64_t MacsPerSample(int in_h, int in_w) const override {
+    (void)in_h;
+    (void)in_w;
+    return 0;
+  }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// 2x2 max pooling with stride 2.
+class MaxPool2d : public Layer {
+ public:
+  const char* type() const override { return "MaxPool2d"; }
+  Result<Tensor> Forward(const Tensor& input, bool training) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  int64_t MacsPerSample(int in_h, int in_w) const override {
+    (void)in_h;
+    (void)in_w;
+    return 0;
+  }
+
+ private:
+  Tensor cached_input_;
+  std::vector<int> argmax_;
+};
+
+/// Global average pooling: NCHW -> NC.
+class GlobalAvgPool : public Layer {
+ public:
+  const char* type() const override { return "GlobalAvgPool"; }
+  Result<Tensor> Forward(const Tensor& input, bool training) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  int64_t MacsPerSample(int in_h, int in_w) const override {
+    (void)in_h;
+    (void)in_w;
+    return 0;
+  }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+/// Fully connected layer over 2-D input [N, in].
+class Linear : public Layer {
+ public:
+  Linear(int in_features, int out_features, Rng* rng);
+
+  const char* type() const override { return "Linear"; }
+  Result<Tensor> Forward(const Tensor& input, bool training) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
+  std::vector<int> Config() const override {
+    return {in_features_, out_features_};
+  }
+  int64_t MacsPerSample(int in_h, int in_w) const override {
+    (void)in_h;
+    (void)in_w;
+    return static_cast<int64_t>(in_features_) * out_features_;
+  }
+
+ private:
+  int in_features_, out_features_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  Tensor cached_input_;
+};
+
+/// Residual basic block: Conv-BN-ReLU-Conv-BN + skip, then ReLU.
+/// Uses a 1x1 projection on the skip path when shape changes.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(int in_channels, int out_channels, int stride, Rng* rng);
+
+  const char* type() const override { return "ResidualBlock"; }
+  Result<Tensor> Forward(const Tensor& input, bool training) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override;
+  std::vector<int> Config() const override {
+    return {in_channels_, out_channels_, stride_};
+  }
+  int64_t MacsPerSample(int in_h, int in_w) const override;
+
+  /// Sub-layers exposed for serialization of BN running stats.
+  std::vector<Layer*> SubLayers();
+
+ private:
+  int in_channels_, out_channels_, stride_;
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<BatchNorm2d> bn1_;
+  std::unique_ptr<Relu> relu1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<BatchNorm2d> bn2_;
+  std::unique_ptr<Conv2d> proj_;      // nullptr when identity skip
+  std::unique_ptr<BatchNorm2d> proj_bn_;
+  Tensor cached_skip_input_;
+  Tensor cached_sum_;  // pre-final-ReLU activations
+};
+
+/// Softmax cross-entropy loss (not a Layer: terminal node of training).
+struct SoftmaxCrossEntropy {
+  /// Computes mean loss over the batch and the gradient w.r.t. logits.
+  /// \p labels has one entry per sample in [0, classes).
+  static Result<double> Compute(const Tensor& logits,
+                                const std::vector<int>& labels,
+                                Tensor* grad_logits);
+
+  /// Softmax probabilities per row (for inference confidence thresholds).
+  static Result<Tensor> Probabilities(const Tensor& logits);
+};
+
+}  // namespace smol
+
+#endif  // SMOL_DNN_LAYERS_H_

@@ -1,0 +1,327 @@
+#include "src/dnn/model.h"
+
+#include <cstring>
+
+#include "src/codec/bitstream.h"
+#include "src/util/macros.h"
+
+namespace smol {
+
+Result<Tensor> Model::Forward(const Tensor& input, bool training) {
+  Tensor h = input;
+  for (auto& layer : layers_) {
+    SMOL_ASSIGN_OR_RETURN(h, layer->Forward(h, training));
+  }
+  return h;
+}
+
+Result<Tensor> Model::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    SMOL_ASSIGN_OR_RETURN(g, (*it)->Backward(g));
+  }
+  return g;
+}
+
+std::vector<Parameter*> Model::Params() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+int64_t Model::NumParams() {
+  int64_t total = 0;
+  for (Parameter* p : Params()) total += static_cast<int64_t>(p->value.size());
+  return total;
+}
+
+Result<int64_t> Model::MacsPerSample(int channels, int height, int width) const {
+  (void)channels;
+  int64_t total = 0;
+  int h = height;
+  int w = width;
+  for (const auto& layer : layers_) {
+    total += layer->MacsPerSample(h, w);
+    // Track spatial size through shape-changing layers.
+    const std::string type = layer->type();
+    if (type == "Conv2d") {
+      const auto cfg = layer->Config();  // {in, out, k, stride, pad}
+      h = (h + 2 * cfg[4] - cfg[2]) / cfg[3] + 1;
+      w = (w + 2 * cfg[4] - cfg[2]) / cfg[3] + 1;
+    } else if (type == "MaxPool2d") {
+      h /= 2;
+      w /= 2;
+    } else if (type == "ResidualBlock") {
+      const auto cfg = layer->Config();  // {in, out, stride}
+      h = (h + 2 - 3) / cfg[2] + 1;
+      w = (w + 2 - 3) / cfg[2] + 1;
+    } else if (type == "GlobalAvgPool") {
+      h = 1;
+      w = 1;
+    }
+  }
+  return total;
+}
+
+Result<std::vector<int>> Model::Predict(const Tensor& input) {
+  SMOL_ASSIGN_OR_RETURN(Tensor logits, Forward(input, /*training=*/false));
+  if (logits.ndim() != 2) return Status::Internal("model output not [N, C]");
+  const int batch = logits.dim(0);
+  const int classes = logits.dim(1);
+  std::vector<int> preds(batch);
+  for (int n = 0; n < batch; ++n) {
+    const float* row = logits.data() + static_cast<size_t>(n) * classes;
+    int best = 0;
+    for (int c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    preds[n] = best;
+  }
+  return preds;
+}
+
+Result<double> Model::Evaluate(const Tensor& inputs,
+                               const std::vector<int>& labels) {
+  SMOL_ASSIGN_OR_RETURN(std::vector<int> preds, Predict(inputs));
+  if (preds.size() != labels.size()) {
+    return Status::InvalidArgument("label count mismatch");
+  }
+  if (preds.empty()) return Status::InvalidArgument("empty evaluation set");
+  int correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+Result<SmolNetSpec> GetSmolNetSpec(const std::string& name, int num_classes,
+                                   int input_channels) {
+  SmolNetSpec spec;
+  spec.name = name;
+  spec.num_classes = num_classes;
+  spec.input_channels = input_channels;
+  if (name == "smolnet18") {
+    spec.base_width = 8;
+    spec.blocks_per_stage = {1, 1};
+  } else if (name == "smolnet34") {
+    spec.base_width = 12;
+    spec.blocks_per_stage = {1, 1, 1};
+  } else if (name == "smolnet50") {
+    spec.base_width = 16;
+    spec.blocks_per_stage = {2, 2, 2};
+  } else {
+    return Status::NotFound("unknown SmolNet: " + name);
+  }
+  return spec;
+}
+
+Result<std::unique_ptr<Model>> BuildSmolNet(const SmolNetSpec& spec,
+                                            uint64_t seed) {
+  if (spec.blocks_per_stage.empty()) {
+    return Status::InvalidArgument("SmolNet needs at least one stage");
+  }
+  Rng rng(seed);
+  auto model = std::make_unique<Model>(spec.name);
+  // Stem: conv3x3 stride 1 + BN + ReLU + maxpool.
+  model->AddLayer(std::make_unique<Conv2d>(spec.input_channels,
+                                           spec.base_width, 3, 1, 1, &rng));
+  model->AddLayer(std::make_unique<BatchNorm2d>(spec.base_width));
+  model->AddLayer(std::make_unique<Relu>());
+  model->AddLayer(std::make_unique<MaxPool2d>());
+  // Residual stages: width doubles, stride-2 at stage entry.
+  int width = spec.base_width;
+  for (size_t stage = 0; stage < spec.blocks_per_stage.size(); ++stage) {
+    const int out_width = stage == 0 ? width : width * 2;
+    const int stride = stage == 0 ? 1 : 2;
+    model->AddLayer(
+        std::make_unique<ResidualBlock>(width, out_width, stride, &rng));
+    for (int b = 1; b < spec.blocks_per_stage[stage]; ++b) {
+      model->AddLayer(
+          std::make_unique<ResidualBlock>(out_width, out_width, 1, &rng));
+    }
+    width = out_width;
+  }
+  model->AddLayer(std::make_unique<GlobalAvgPool>());
+  model->AddLayer(std::make_unique<Linear>(width, spec.num_classes, &rng));
+  return model;
+}
+
+// --- Serialization -----------------------------------------------------------
+//
+// Format: magic, name, layer count, then per layer: type string, config ints,
+// parameter tensors (shape + data), BN running stats where applicable.
+
+namespace {
+
+constexpr uint32_t kModelMagic = 0x4E4E'4D53;  // "SMNN"
+
+void WriteString(BitWriter* w, const std::string& s) {
+  w->WriteU16(static_cast<uint16_t>(s.size()));
+  for (char c : s) w->WriteByte(static_cast<uint8_t>(c));
+}
+
+Result<std::string> ReadString(BitReader* r) {
+  SMOL_ASSIGN_OR_RETURN(uint16_t len, r->ReadU16());
+  std::string s;
+  s.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    SMOL_ASSIGN_OR_RETURN(uint8_t c, r->ReadByte());
+    s.push_back(static_cast<char>(c));
+  }
+  return s;
+}
+
+void WriteTensor(BitWriter* w, const Tensor& t) {
+  w->WriteU16(static_cast<uint16_t>(t.ndim()));
+  for (int i = 0; i < t.ndim(); ++i) {
+    w->WriteU32(static_cast<uint32_t>(t.dim(i)));
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    uint32_t bits;
+    const float v = t[i];
+    std::memcpy(&bits, &v, sizeof(bits));
+    w->WriteU32(bits);
+  }
+}
+
+Result<Tensor> ReadTensor(BitReader* r) {
+  SMOL_ASSIGN_OR_RETURN(uint16_t ndim, r->ReadU16());
+  if (ndim > 4) return Status::Corruption("tensor rank too large");
+  std::vector<int> shape(ndim);
+  for (int i = 0; i < ndim; ++i) {
+    SMOL_ASSIGN_OR_RETURN(uint32_t d, r->ReadU32());
+    if (d > (1u << 24)) return Status::Corruption("tensor dim too large");
+    shape[i] = static_cast<int>(d);
+  }
+  Tensor t(shape);
+  for (size_t i = 0; i < t.size(); ++i) {
+    SMOL_ASSIGN_OR_RETURN(uint32_t bits, r->ReadU32());
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    t[i] = v;
+  }
+  return t;
+}
+
+void WriteConfig(BitWriter* w, const std::vector<int>& cfg) {
+  w->WriteU16(static_cast<uint16_t>(cfg.size()));
+  for (int v : cfg) w->WriteU32(static_cast<uint32_t>(v));
+}
+
+Result<std::vector<int>> ReadConfig(BitReader* r) {
+  SMOL_ASSIGN_OR_RETURN(uint16_t n, r->ReadU16());
+  std::vector<int> cfg(n);
+  for (int i = 0; i < n; ++i) {
+    SMOL_ASSIGN_OR_RETURN(uint32_t v, r->ReadU32());
+    cfg[i] = static_cast<int>(v);
+  }
+  return cfg;
+}
+
+// Serializes a layer's parameter values and BN running stats (recursing into
+// residual sub-layers).
+void WriteLayerState(BitWriter* w, Layer* layer) {
+  if (std::string(layer->type()) == "ResidualBlock") {
+    auto* block = static_cast<ResidualBlock*>(layer);
+    for (Layer* sub : block->SubLayers()) WriteLayerState(w, sub);
+    return;
+  }
+  for (Parameter* p : layer->Params()) WriteTensor(w, p->value);
+  if (std::string(layer->type()) == "BatchNorm2d") {
+    auto* bn = static_cast<BatchNorm2d*>(layer);
+    WriteTensor(w, bn->running_mean());
+    WriteTensor(w, bn->running_var());
+  }
+}
+
+Status ReadLayerState(BitReader* r, Layer* layer) {
+  if (std::string(layer->type()) == "ResidualBlock") {
+    auto* block = static_cast<ResidualBlock*>(layer);
+    for (Layer* sub : block->SubLayers()) {
+      SMOL_RETURN_IF_ERROR(ReadLayerState(r, sub));
+    }
+    return Status::OK();
+  }
+  for (Parameter* p : layer->Params()) {
+    SMOL_ASSIGN_OR_RETURN(Tensor t, ReadTensor(r));
+    if (!t.SameShape(p->value)) {
+      return Status::Corruption("parameter shape mismatch on load");
+    }
+    p->value = std::move(t);
+  }
+  if (std::string(layer->type()) == "BatchNorm2d") {
+    auto* bn = static_cast<BatchNorm2d*>(layer);
+    SMOL_ASSIGN_OR_RETURN(bn->running_mean(), ReadTensor(r));
+    SMOL_ASSIGN_OR_RETURN(bn->running_var(), ReadTensor(r));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Layer>> MakeLayer(const std::string& type,
+                                         const std::vector<int>& cfg,
+                                         Rng* rng) {
+  if (type == "Conv2d") {
+    if (cfg.size() != 5) return Status::Corruption("bad Conv2d config");
+    return std::unique_ptr<Layer>(
+        new Conv2d(cfg[0], cfg[1], cfg[2], cfg[3], cfg[4], rng));
+  }
+  if (type == "BatchNorm2d") {
+    if (cfg.size() != 1) return Status::Corruption("bad BatchNorm2d config");
+    return std::unique_ptr<Layer>(new BatchNorm2d(cfg[0]));
+  }
+  if (type == "Relu") return std::unique_ptr<Layer>(new Relu());
+  if (type == "MaxPool2d") return std::unique_ptr<Layer>(new MaxPool2d());
+  if (type == "GlobalAvgPool") {
+    return std::unique_ptr<Layer>(new GlobalAvgPool());
+  }
+  if (type == "Linear") {
+    if (cfg.size() != 2) return Status::Corruption("bad Linear config");
+    return std::unique_ptr<Layer>(new Linear(cfg[0], cfg[1], rng));
+  }
+  if (type == "ResidualBlock") {
+    if (cfg.size() != 3) return Status::Corruption("bad ResidualBlock config");
+    return std::unique_ptr<Layer>(
+        new ResidualBlock(cfg[0], cfg[1], cfg[2], rng));
+  }
+  return Status::Corruption("unknown layer type: " + type);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SaveModel(Model* model) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  BitWriter w;
+  w.WriteU32(kModelMagic);
+  WriteString(&w, model->name());
+  w.WriteU16(static_cast<uint16_t>(model->num_layers()));
+  for (int i = 0; i < model->num_layers(); ++i) {
+    Layer* layer = model->layer(i);
+    WriteString(&w, layer->type());
+    WriteConfig(&w, layer->Config());
+    WriteLayerState(&w, layer);
+  }
+  return w.Finish();
+}
+
+Result<std::unique_ptr<Model>> LoadModel(const std::vector<uint8_t>& bytes) {
+  BitReader r(bytes.data(), bytes.size());
+  SMOL_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kModelMagic) return Status::Corruption("not a .smolnn model");
+  SMOL_ASSIGN_OR_RETURN(std::string name, ReadString(&r));
+  SMOL_ASSIGN_OR_RETURN(uint16_t num_layers, r.ReadU16());
+  auto model = std::make_unique<Model>(name);
+  Rng rng(0);  // weights are overwritten immediately after construction
+  for (int i = 0; i < num_layers; ++i) {
+    SMOL_ASSIGN_OR_RETURN(std::string type, ReadString(&r));
+    SMOL_ASSIGN_OR_RETURN(std::vector<int> cfg, ReadConfig(&r));
+    SMOL_ASSIGN_OR_RETURN(std::unique_ptr<Layer> layer,
+                          MakeLayer(type, cfg, &rng));
+    SMOL_RETURN_IF_ERROR(ReadLayerState(&r, layer.get()));
+    model->AddLayer(std::move(layer));
+  }
+  return model;
+}
+
+}  // namespace smol

@@ -1,0 +1,90 @@
+// Sequential model container, the SmolNet capacity ladder, and .smolnn
+// serialization (this repo's stand-in for the ONNX interchange the paper's
+// prototype consumes).
+#ifndef SMOL_DNN_MODEL_H_
+#define SMOL_DNN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dnn/layers.h"
+#include "src/dnn/tensor.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief A sequential stack of layers with a classifier head.
+class Model {
+ public:
+  Model() = default;
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  void AddLayer(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Layer* layer(int i) { return layers_[static_cast<size_t>(i)].get(); }
+
+  /// Forward pass through all layers.
+  Result<Tensor> Forward(const Tensor& input, bool training = false);
+
+  /// Backward pass through all layers (after a training-mode Forward).
+  Result<Tensor> Backward(const Tensor& grad_output);
+
+  /// All trainable parameters across layers.
+  std::vector<Parameter*> Params();
+
+  /// Total parameter count (for reporting).
+  int64_t NumParams();
+
+  /// Approximate MACs for a single sample at the given input resolution.
+  /// This is the quantity the hardware throughput model scales with.
+  Result<int64_t> MacsPerSample(int channels, int height, int width) const;
+
+  /// Argmax class predictions for a batch of inputs.
+  Result<std::vector<int>> Predict(const Tensor& input);
+
+  /// Top-1 accuracy against labels.
+  Result<double> Evaluate(const Tensor& inputs, const std::vector<int>& labels);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// \brief Architecture spec for the SmolNet ladder.
+///
+/// SmolNet-{18,34,50} mirror the roles of ResNet-{18,34,50} in the paper: a
+/// monotone capacity ladder where deeper entries are more accurate and more
+/// expensive. (They are scaled to train in seconds on CPU; the paper-scale
+/// ResNet throughput/accuracy numbers live in the calibrated hardware model.)
+struct SmolNetSpec {
+  std::string name;
+  int base_width = 8;                 ///< channels of the stem
+  std::vector<int> blocks_per_stage;  ///< residual blocks per stage
+  int num_classes = 10;
+  int input_channels = 3;
+};
+
+/// Returns the spec for "smolnet18" / "smolnet34" / "smolnet50".
+Result<SmolNetSpec> GetSmolNetSpec(const std::string& name, int num_classes,
+                                   int input_channels = 3);
+
+/// Builds a SmolNet from a spec (deterministic given \p seed).
+Result<std::unique_ptr<Model>> BuildSmolNet(const SmolNetSpec& spec,
+                                            uint64_t seed = 1);
+
+/// Serializes a model (architecture + weights + BN running stats) to bytes.
+Result<std::vector<uint8_t>> SaveModel(Model* model);
+
+/// Reconstructs a model saved with SaveModel.
+Result<std::unique_ptr<Model>> LoadModel(const std::vector<uint8_t>& bytes);
+
+}  // namespace smol
+
+#endif  // SMOL_DNN_MODEL_H_

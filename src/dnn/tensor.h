@@ -1,0 +1,85 @@
+// Dense float32 tensor in NCHW layout — the numeric substrate for the DNN
+// library (real inference and training for the specialized NNs the paper's
+// optimizer searches over).
+#ifndef SMOL_DNN_TENSOR_H_
+#define SMOL_DNN_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief A dense float tensor with up to 4 dimensions (NCHW convention).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor with the given shape.
+  explicit Tensor(std::vector<int> shape)
+      : shape_(std::move(shape)),
+        data_(NumElements(shape_), 0.0f) {}
+
+  static size_t NumElements(const std::vector<int>& shape) {
+    size_t n = 1;
+    for (int d : shape) n *= static_cast<size_t>(d < 0 ? 0 : d);
+    return shape.empty() ? 0 : n;
+  }
+
+  const std::vector<int>& shape() const { return shape_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  int dim(int i) const { return shape_[static_cast<size_t>(i)]; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+
+  const float* data() const { return data_.data(); }
+  float* data() { return data_.data(); }
+
+  float operator[](size_t i) const { return data_[i]; }
+  float& operator[](size_t i) { return data_[i]; }
+
+  /// NCHW element access for 4-D tensors.
+  float at4(int n, int c, int h, int w) const {
+    return data_[((static_cast<size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+                     shape_[3] +
+                 w];
+  }
+  float& at4(int n, int c, int h, int w) {
+    return data_[((static_cast<size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+                     shape_[3] +
+                 w];
+  }
+
+  /// Reinterprets the shape; element count must match.
+  Status Reshape(std::vector<int> new_shape) {
+    if (NumElements(new_shape) != data_.size()) {
+      return Status::InvalidArgument("reshape element count mismatch");
+    }
+    shape_ = std::move(new_shape);
+    return Status::OK();
+  }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Elementwise in-place operations used by the optimizer.
+  void Scale(float s) {
+    for (auto& v : data_) v *= s;
+  }
+  void Add(const Tensor& other, float scale = 1.0f) {
+    for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other[i];
+  }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_DNN_TENSOR_H_

@@ -1,0 +1,257 @@
+#include "src/dnn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/codec/sjpg.h"
+#include "src/util/macros.h"
+
+namespace smol {
+
+Image ResizeBilinear(const Image& src, int out_w, int out_h) {
+  if (src.width() == out_w && src.height() == out_h) return src;
+  Image out(out_w, out_h, src.channels());
+  const float sx = static_cast<float>(src.width()) / out_w;
+  const float sy = static_cast<float>(src.height()) / out_h;
+  const int c = src.channels();
+  for (int y = 0; y < out_h; ++y) {
+    const float fy = (y + 0.5f) * sy - 0.5f;
+    int y0 = static_cast<int>(std::floor(fy));
+    const float wy = fy - y0;
+    int y1 = y0 + 1;
+    y0 = std::clamp(y0, 0, src.height() - 1);
+    y1 = std::clamp(y1, 0, src.height() - 1);
+    for (int x = 0; x < out_w; ++x) {
+      const float fx = (x + 0.5f) * sx - 0.5f;
+      int x0 = static_cast<int>(std::floor(fx));
+      const float wx = fx - x0;
+      int x1 = x0 + 1;
+      x0 = std::clamp(x0, 0, src.width() - 1);
+      x1 = std::clamp(x1, 0, src.width() - 1);
+      for (int ch = 0; ch < c; ++ch) {
+        const float v00 = src.at(x0, y0, ch);
+        const float v01 = src.at(x1, y0, ch);
+        const float v10 = src.at(x0, y1, ch);
+        const float v11 = src.at(x1, y1, ch);
+        const float v = v00 * (1 - wx) * (1 - wy) + v01 * wx * (1 - wy) +
+                        v10 * (1 - wx) * wy + v11 * wx * wy;
+        out.at(x, y, ch) = static_cast<uint8_t>(
+            std::clamp(static_cast<int>(std::lround(v)), 0, 255));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Tensor> ImagesToTensor(const std::vector<const Image*>& batch,
+                              const Normalization& norm) {
+  if (batch.empty()) return Status::InvalidArgument("empty batch");
+  const Image& first = *batch[0];
+  const int w = first.width();
+  const int h = first.height();
+  const int c = first.channels();
+  for (const Image* img : batch) {
+    if (img->width() != w || img->height() != h || img->channels() != c) {
+      return Status::InvalidArgument("batch images differ in shape");
+    }
+  }
+  Tensor out({static_cast<int>(batch.size()), c, h, w});
+  for (size_t n = 0; n < batch.size(); ++n) {
+    const Image& img = *batch[n];
+    for (int ch = 0; ch < c; ++ch) {
+      const float mean = norm.mean[ch % 3];
+      const float stdv = norm.std[ch % 3];
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          out.at4(static_cast<int>(n), ch, y, x) =
+              (img.at(x, y, ch) / 255.0f - mean) / stdv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shifts an image by (dx, dy) with edge replication.
+Image ShiftImage(const Image& src, int dx, int dy) {
+  Image out(src.width(), src.height(), src.channels());
+  for (int y = 0; y < src.height(); ++y) {
+    const int sy = std::clamp(y + dy, 0, src.height() - 1);
+    for (int x = 0; x < src.width(); ++x) {
+      const int sx = std::clamp(x + dx, 0, src.width() - 1);
+      for (int c = 0; c < src.channels(); ++c) {
+        out.at(x, y, c) = src.at(sx, sy, c);
+      }
+    }
+  }
+  return out;
+}
+
+Image FlipHorizontal(const Image& src) {
+  Image out(src.width(), src.height(), src.channels());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      for (int c = 0; c < src.channels(); ++c) {
+        out.at(x, y, c) = src.at(src.width() - 1 - x, y, c);
+      }
+    }
+  }
+  return out;
+}
+
+// §5.3: downsample to the target short side, optionally through lossy
+// compression, then upsample back — purposely introducing the artifacts the
+// network will see at inference on low-resolution data.
+Result<Image> LowResAugment(const Image& src, int target_short_side,
+                            int jpeg_quality) {
+  const int short_side = std::min(src.width(), src.height());
+  if (target_short_side >= short_side) return src;
+  const double scale =
+      static_cast<double>(target_short_side) / static_cast<double>(short_side);
+  const int lw = std::max(1, static_cast<int>(std::lround(src.width() * scale)));
+  const int lh =
+      std::max(1, static_cast<int>(std::lround(src.height() * scale)));
+  Image low = ResizeBilinear(src, lw, lh);
+  if (jpeg_quality > 0) {
+    SMOL_ASSIGN_OR_RETURN(auto bytes,
+                          SjpgEncode(low, {.quality = jpeg_quality}));
+    SMOL_ASSIGN_OR_RETURN(low, SjpgDecode(bytes));
+  }
+  return ResizeBilinear(low, src.width(), src.height());
+}
+
+}  // namespace
+
+Result<TrainStats> TrainModel(Model* model, const LabeledImages& train,
+                              const LabeledImages& val,
+                              const TrainOptions& options) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  if (train.size() == 0) return Status::InvalidArgument("empty training set");
+  if (train.images.size() != train.labels.size()) {
+    return Status::InvalidArgument("train images/labels mismatch");
+  }
+  Rng rng(options.seed);
+  const Normalization norm;
+  TrainStats stats;
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  auto params = model->Params();
+  for (Parameter* p : params) {
+    if (p->momentum.size() != p->value.size()) {
+      p->momentum = Tensor(p->value.shape());
+    }
+  }
+
+  const int steps_per_epoch = static_cast<int>(
+      (train.size() + options.batch_size - 1) / options.batch_size);
+  const int total_steps = steps_per_epoch * options.epochs;
+  int step = 0;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Shuffle.
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Uniform(i)]);
+    }
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t begin = 0; begin < train.size();
+         begin += static_cast<size_t>(options.batch_size)) {
+      const size_t end =
+          std::min(begin + static_cast<size_t>(options.batch_size),
+                   train.size());
+      // Assemble the (augmented) batch.
+      std::vector<Image> augmented;
+      std::vector<const Image*> batch_ptrs;
+      std::vector<int> labels;
+      augmented.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        Image img = train.images[order[i]];
+        if (options.augment_flip && rng.Bernoulli(0.5)) {
+          img = FlipHorizontal(img);
+        }
+        if (options.augment_shift && rng.Bernoulli(0.5)) {
+          img = ShiftImage(img, static_cast<int>(rng.UniformInt(-2, 2)),
+                           static_cast<int>(rng.UniformInt(-2, 2)));
+        }
+        if (options.lowres_target > 0 && rng.Bernoulli(options.lowres_prob)) {
+          SMOL_ASSIGN_OR_RETURN(
+              img, LowResAugment(img, options.lowres_target,
+                                 options.lowres_jpeg_quality));
+        }
+        augmented.push_back(std::move(img));
+        labels.push_back(train.labels[order[i]]);
+      }
+      for (const Image& img : augmented) batch_ptrs.push_back(&img);
+      SMOL_ASSIGN_OR_RETURN(Tensor inputs, ImagesToTensor(batch_ptrs, norm));
+
+      // Zero gradients.
+      for (Parameter* p : params) p->grad.Fill(0.0f);
+
+      SMOL_ASSIGN_OR_RETURN(Tensor logits,
+                            model->Forward(inputs, /*training=*/true));
+      Tensor grad_logits;
+      SMOL_ASSIGN_OR_RETURN(
+          double loss, SoftmaxCrossEntropy::Compute(logits, labels,
+                                                    &grad_logits));
+      epoch_loss += loss;
+      ++batches;
+      SMOL_RETURN_IF_ERROR(model->Backward(grad_logits).status());
+
+      // SGD with momentum, weight decay, and cosine LR.
+      double lr = options.learning_rate;
+      if (options.cosine_schedule && total_steps > 1) {
+        lr *= 0.5 * (1.0 + std::cos(3.14159265358979 * step / total_steps));
+      }
+      ++step;
+      for (Parameter* p : params) {
+        if (!p->trainable) continue;
+        for (size_t i = 0; i < p->value.size(); ++i) {
+          const float g = p->grad[i] +
+                          static_cast<float>(options.weight_decay) * p->value[i];
+          p->momentum[i] =
+              static_cast<float>(options.momentum) * p->momentum[i] + g;
+          p->value[i] -= static_cast<float>(lr) * p->momentum[i];
+        }
+      }
+    }
+    stats.epoch_losses.push_back(epoch_loss / std::max(1, batches));
+
+    double val_acc = 0.0;
+    if (val.size() > 0) {
+      SMOL_ASSIGN_OR_RETURN(val_acc, EvaluateModel(model, val, norm));
+    }
+    stats.val_accuracies.push_back(val_acc);
+    if (options.on_epoch) {
+      options.on_epoch(epoch, stats.epoch_losses.back(), val_acc);
+    }
+  }
+  stats.final_val_accuracy =
+      stats.val_accuracies.empty() ? 0.0 : stats.val_accuracies.back();
+  return stats;
+}
+
+Result<double> EvaluateModel(Model* model, const LabeledImages& data,
+                             const Normalization& norm, int batch_size) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  if (data.size() == 0) return Status::InvalidArgument("empty dataset");
+  int correct = 0;
+  for (size_t begin = 0; begin < data.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(begin + static_cast<size_t>(batch_size), data.size());
+    std::vector<const Image*> batch;
+    for (size_t i = begin; i < end; ++i) batch.push_back(&data.images[i]);
+    SMOL_ASSIGN_OR_RETURN(Tensor inputs, ImagesToTensor(batch, norm));
+    SMOL_ASSIGN_OR_RETURN(std::vector<int> preds, model->Predict(inputs));
+    for (size_t i = begin; i < end; ++i) {
+      if (preds[i - begin] == data.labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace smol

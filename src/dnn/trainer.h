@@ -1,0 +1,94 @@
+// SGD trainer with data augmentation, including the paper's low-resolution
+// augmented training (§5.3): downsample full-resolution inputs to a target
+// resolution and upsample back to the network input size during training, so
+// the DNN learns to be robust to thumbnail/partial-decode artifacts.
+#ifndef SMOL_DNN_TRAINER_H_
+#define SMOL_DNN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/codec/image.h"
+#include "src/dnn/model.h"
+#include "src/dnn/tensor.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace smol {
+
+/// \brief A labeled image dataset held in memory.
+struct LabeledImages {
+  std::vector<Image> images;
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  size_t size() const { return images.size(); }
+};
+
+/// Per-channel normalization constants (the "divide by 255, subtract mean,
+/// divide by std" step from §2's preprocessing recipe).
+struct Normalization {
+  float mean[3] = {0.485f, 0.456f, 0.406f};
+  float std[3] = {0.229f, 0.224f, 0.225f};
+};
+
+/// Converts an image batch to an NCHW float tensor with normalization.
+/// All images must share dimensions and channel count.
+Result<Tensor> ImagesToTensor(const std::vector<const Image*>& batch,
+                              const Normalization& norm);
+
+/// Bilinear resize of an 8-bit image (shared by augmentation and tests; the
+/// production preprocessing operator lives in src/preproc).
+Image ResizeBilinear(const Image& src, int out_w, int out_h);
+
+/// \brief Training configuration.
+struct TrainOptions {
+  int epochs = 8;
+  int batch_size = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  /// Cosine LR decay toward zero over the epoch budget.
+  bool cosine_schedule = true;
+  uint64_t seed = 17;
+
+  /// Standard augmentation: horizontal flips and small translations.
+  bool augment_flip = true;
+  bool augment_shift = true;
+
+  /// §5.3 low-resolution augmentation: with probability `lowres_prob`,
+  /// downsample the training image to `lowres_target` pixels (short side)
+  /// and upsample back to the input resolution before normalization.
+  /// 0 disables the augmentation ("reg train" in Table 7).
+  int lowres_target = 0;
+  double lowres_prob = 0.5;
+
+  /// Simulated lossy-thumbnail artifacts: when > 0, the low-resolution
+  /// augmentation additionally passes the downsampled image through SJPG at
+  /// this quality before upsampling ("low-resol train" on JPEG thumbnails).
+  int lowres_jpeg_quality = 0;
+
+  /// Progress callback: (epoch, train_loss, val_accuracy).
+  std::function<void(int, double, double)> on_epoch;
+};
+
+/// \brief Result of a training run.
+struct TrainStats {
+  std::vector<double> epoch_losses;
+  std::vector<double> val_accuracies;
+  double final_val_accuracy = 0.0;
+};
+
+/// Trains \p model on \p train, validating on \p val each epoch.
+Result<TrainStats> TrainModel(Model* model, const LabeledImages& train,
+                              const LabeledImages& val,
+                              const TrainOptions& options);
+
+/// Evaluates top-1 accuracy of \p model on a dataset, processing in batches.
+Result<double> EvaluateModel(Model* model, const LabeledImages& data,
+                             const Normalization& norm = {},
+                             int batch_size = 64);
+
+}  // namespace smol
+
+#endif  // SMOL_DNN_TRAINER_H_

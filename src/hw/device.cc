@@ -1,0 +1,72 @@
+#include "src/hw/device.h"
+
+namespace smol {
+
+const char* GpuModelName(GpuModel gpu) {
+  switch (gpu) {
+    case GpuModel::kK80:
+      return "K80";
+    case GpuModel::kP100:
+      return "P100";
+    case GpuModel::kV100:
+      return "V100";
+    case GpuModel::kT4:
+      return "T4";
+    case GpuModel::kRtx:
+      return "RTX";
+  }
+  return "?";
+}
+
+const char* FrameworkName(Framework fw) {
+  switch (fw) {
+    case Framework::kKeras:
+      return "Keras";
+    case Framework::kPyTorch:
+      return "PyTorch";
+    case Framework::kTensorRt:
+      return "TensorRT";
+  }
+  return "?";
+}
+
+const std::vector<GpuSpec>& AllGpuSpecs() {
+  // Throughput column = paper Table 5 (ResNet-50, batch 64).
+  static const std::vector<GpuSpec> kSpecs = {
+      {GpuModel::kK80, "K80", 2014, 159.0, 300.0},
+      {GpuModel::kP100, "P100", 2016, 1955.0, 250.0},
+      {GpuModel::kT4, "T4", 2019, 4513.0, 70.0},
+      {GpuModel::kV100, "V100", 2017, 7151.0, 300.0},
+      {GpuModel::kRtx, "RTX", 2019, 15008.0, 250.0},
+  };
+  return kSpecs;
+}
+
+Result<GpuSpec> FindGpu(GpuModel model) {
+  for (const auto& spec : AllGpuSpecs()) {
+    if (spec.model == model) return spec;
+  }
+  return Status::NotFound("unknown GPU model");
+}
+
+double EffectiveCores(int vcpus) {
+  if (vcpus <= 0) return 0.0;
+  const double physical = vcpus / 2.0;
+  if (vcpus <= 1) return 1.0;
+  // First hyperthread per core counts fully, the second ~30% extra.
+  return physical + 0.3 * physical;
+}
+
+double CostUsd(const InstanceSpec& instance, double throughput_ims,
+               double num_images) {
+  if (throughput_ims <= 0.0) return 0.0;
+  const double hours = num_images / throughput_ims / 3600.0;
+  return hours * instance.HourlyPriceUsd();
+}
+
+double CentsPerMillionImages(const InstanceSpec& instance,
+                             double throughput_ims) {
+  return CostUsd(instance, throughput_ims, 1e6) * 100.0;
+}
+
+}  // namespace smol

@@ -1,0 +1,62 @@
+#include "src/hw/sim_accelerator.h"
+
+#include <chrono>
+#include <thread>
+
+namespace smol {
+
+SimAccelerator::SimAccelerator(Options options) : options_(options) {
+  if (options_.dnn_throughput_ims <= 0.0) options_.dnn_throughput_ims = 1.0;
+  if (options_.time_scale <= 0.0) options_.time_scale = 1.0;
+}
+
+void SimAccelerator::SleepModeled(double modeled_seconds) {
+  if (modeled_seconds <= 0.0) return;
+  const double real = modeled_seconds * options_.time_scale;
+  std::this_thread::sleep_for(std::chrono::duration<double>(real));
+}
+
+void SimAccelerator::ExecuteBatch(int batch_size, size_t input_bytes,
+                                  bool pinned) {
+  if (batch_size <= 0) return;
+  const double transfer_s =
+      options_.transfer.TransferMicros(input_bytes, pinned) * 1e-6;
+  double compute_s =
+      static_cast<double>(batch_size) / options_.dnn_throughput_ims;
+  if (options_.gpu_preproc_throughput_ims > 0.0) {
+    compute_s += static_cast<double>(batch_size) /
+                 options_.gpu_preproc_throughput_ims;
+  }
+
+  if (options_.num_streams >= 2) {
+    // Copy/compute overlap: DMA holds only the DMA engine, compute holds only
+    // the compute engine, so a transfer can proceed under another batch's
+    // compute.
+    {
+      std::lock_guard<std::mutex> dma(dma_mutex_);
+      SleepModeled(transfer_s);
+    }
+    {
+      std::lock_guard<std::mutex> compute(compute_mutex_);
+      SleepModeled(compute_s);
+    }
+  } else {
+    // Single stream: the device serializes transfer then compute.
+    std::lock_guard<std::mutex> compute(compute_mutex_);
+    SleepModeled(transfer_s);
+    SleepModeled(compute_s);
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.batches++;
+  stats_.images += static_cast<uint64_t>(batch_size);
+  stats_.compute_seconds += compute_s;
+  stats_.transfer_seconds += transfer_s;
+}
+
+SimAccelerator::Stats SimAccelerator::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace smol

@@ -1,0 +1,70 @@
+// Simulated DNN accelerator.
+//
+// The runtime engine's consumers submit batches here; the simulator enforces
+// calibrated service times (compute from the throughput model, transfers from
+// the transfer model) by sleeping, so pipelining CPU preprocessing against
+// the "device" is a real wall-clock phenomenon measurable by benches — while
+// the host CPUs stay free for preprocessing, exactly like a real accelerator.
+//
+// Concurrency model: one compute engine (batches serialize on it) plus a DMA
+// engine. With >= 2 streams, transfer for batch i+1 overlaps compute for
+// batch i (copy/compute overlap); with 1 stream they serialize.
+#ifndef SMOL_HW_SIM_ACCELERATOR_H_
+#define SMOL_HW_SIM_ACCELERATOR_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/hw/device.h"
+#include "src/hw/transfer.h"
+#include "src/util/status.h"
+
+namespace smol {
+
+/// \brief Wall-clock simulator of one inference accelerator.
+class SimAccelerator {
+ public:
+  struct Options {
+    GpuModel gpu = GpuModel::kT4;
+    /// Modelled DNN throughput for the deployed model, images/second.
+    double dnn_throughput_ims = 4513.0;
+    /// Extra accelerator-side preprocessing throughput (0 = none placed).
+    /// When > 0, each image also costs 1/this seconds of device time.
+    double gpu_preproc_throughput_ims = 0.0;
+    int num_streams = 4;
+    TransferModel transfer;
+    /// Scales all modelled durations (1.0 = real time). Benches may shrink
+    /// durations to run faster; ratios between stages are preserved.
+    double time_scale = 1.0;
+  };
+
+  explicit SimAccelerator(Options options);
+
+  /// Executes one batch: charges transfer (overlappable) + compute time.
+  /// Blocks the calling thread for the modelled duration.
+  void ExecuteBatch(int batch_size, size_t input_bytes, bool pinned);
+
+  /// Cumulative counters.
+  struct Stats {
+    uint64_t batches = 0;
+    uint64_t images = 0;
+    double compute_seconds = 0.0;   // modelled device-busy time
+    double transfer_seconds = 0.0;  // modelled DMA time
+  };
+  Stats stats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void SleepModeled(double modeled_seconds);
+
+  Options options_;
+  std::mutex compute_mutex_;  // the single compute engine
+  std::mutex dma_mutex_;      // the single DMA engine
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_HW_SIM_ACCELERATOR_H_

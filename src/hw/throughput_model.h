@@ -1,0 +1,105 @@
+// Calibrated throughput models for DNN execution and preprocessing.
+//
+// DNN side: anchored on the paper's published measurements (Tables 1, 2, 5;
+// §2's MobileNet-SSD number) and extended to arbitrary architectures via a
+// MACs-proportional rule calibrated on ResNet-50.
+//
+// Preprocessing side: anchored on §2 / Figure 1 / Table 3 / §5.2 numbers
+// (stage breakdown, full-res vs thumbnail decode rates) with the hyperthread
+// scaling rule of §8.1.
+#ifndef SMOL_HW_THROUGHPUT_MODEL_H_
+#define SMOL_HW_THROUGHPUT_MODEL_H_
+
+#include <string>
+
+#include "src/hw/device.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// Named reference architectures with paper-published T4 throughputs.
+struct ReferenceArch {
+  std::string name;
+  double t4_throughput;   ///< im/s, TensorRT, batch 64 (Tables 1-2, §2).
+  double imagenet_top1;   ///< Top-1 accuracy (Table 2), NaN if unpublished.
+  double gmacs;           ///< Approximate GMACs per 224x224 image.
+};
+
+/// \brief Throughput model for DNN execution on modelled accelerators.
+class DnnThroughputModel {
+ public:
+  DnnThroughputModel() = default;
+
+  /// Throughput of a named reference architecture (e.g. "resnet50") on a
+  /// device, at a batch size, under a framework.
+  Result<double> Throughput(const std::string& arch, GpuModel gpu,
+                            int batch_size = 64,
+                            Framework framework = Framework::kTensorRt) const;
+
+  /// Throughput for an arbitrary model given its per-sample MAC count
+  /// (used for this repo's SmolNets): proportional to the device's effective
+  /// MAC rate, calibrated on ResNet-50, with a small-model launch-overhead
+  /// ceiling (tiny networks saturate at kMaxSmallModelIms like the
+  /// specialized NNs in §5.1, which run up to 250k im/s).
+  double ThroughputFromMacs(double macs_per_sample, GpuModel gpu,
+                            int batch_size = 64) const;
+
+  /// All reference architectures (for Table 2 style reports).
+  static const std::vector<ReferenceArch>& References();
+
+  /// Batch-size efficiency in (0, 1]: small batches underutilize the device.
+  static double BatchEfficiency(int batch_size);
+
+  /// Framework efficiency relative to TensorRT (Table 1).
+  static double FrameworkEfficiency(Framework framework);
+
+  /// §5.1: specialized NNs cap out around 250k im/s.
+  static constexpr double kMaxSmallModelIms = 250000.0;
+};
+
+/// Input format classes the preprocessing model distinguishes.
+enum class PreprocFormat {
+  kFullResJpeg,     ///< Full-resolution JPEG (the §2 baseline path).
+  kThumbnailPng,    ///< 161-px lossless thumbnails (§5.2).
+  kThumbnailJpeg,   ///< 161-px lossy thumbnails (§8.2: q=75 path).
+  kFullResVideo,    ///< Full-resolution H.264 video frames.
+  kLowResVideo,     ///< 480p re-encoded video (§8.4).
+};
+
+const char* PreprocFormatName(PreprocFormat format);
+
+/// \brief Calibrated CPU preprocessing throughput model.
+class PreprocThroughputModel {
+ public:
+  /// Per-image stage costs in CPU-microseconds on the reference instance
+  /// (Figure 1's decode / resize / normalize / split bars).
+  struct StageCosts {
+    double decode_us;
+    double resize_us;
+    double normalize_us;
+    double split_us;
+    double total() const {
+      return decode_us + resize_us + normalize_us + split_us;
+    }
+  };
+
+  /// Stage costs for a format (full pipeline, 224x224 target).
+  static StageCosts StageCostsFor(PreprocFormat format);
+
+  /// Aggregate preprocessing throughput (im/s) on \p vcpus hyperthreads.
+  static double Throughput(PreprocFormat format, int vcpus);
+
+  /// Throughput when an ROI covering \p roi_fraction of the image area is
+  /// decoded via partial decoding (§6.4): decode cost scales with the decoded
+  /// fraction, with a floor for entropy-decode overhead of skipped columns.
+  static double ThroughputWithRoi(PreprocFormat format, int vcpus,
+                                  double roi_fraction);
+
+  /// GPU-side preprocessing rate for the non-decode stages when placed on
+  /// the accelerator (§6.3): resize/normalize map well to DNN-style kernels.
+  static double AcceleratorSideThroughput(PreprocFormat format, GpuModel gpu);
+};
+
+}  // namespace smol
+
+#endif  // SMOL_HW_THROUGHPUT_MODEL_H_

@@ -1,0 +1,38 @@
+// Host-to-accelerator transfer cost model (pinned vs. pageable memory).
+//
+// §6.1 / Appendix A: "accelerators require pinned memory for efficient memory
+// transfer; reusing pinned memory results in substantially improved
+// performance." The runtime charges transfer time through this model, so the
+// pinned-memory lesion in Fig. 7/8 is a measurable wall-clock effect.
+#ifndef SMOL_HW_TRANSFER_H_
+#define SMOL_HW_TRANSFER_H_
+
+#include <cstddef>
+
+namespace smol {
+
+/// \brief PCIe-style transfer timing model.
+struct TransferModel {
+  /// Effective host-to-device bandwidth from pinned memory (GB/s). PCIe 3.0
+  /// x16 sustains ~11-12 GB/s with pinned buffers.
+  double pinned_gbps = 11.0;
+  /// Pageable transfers bounce through an internal staging buffer: roughly
+  /// half the bandwidth plus a per-transfer page-locking cost.
+  double pageable_gbps = 5.0;
+  /// Fixed per-transfer latency (driver + DMA setup), microseconds.
+  double latency_us = 10.0;
+  /// Extra per-transfer cost for pageable staging, microseconds.
+  double pageable_extra_us = 25.0;
+
+  /// Time to move \p bytes host-to-device, in microseconds.
+  double TransferMicros(size_t bytes, bool pinned) const {
+    const double gbps = pinned ? pinned_gbps : pageable_gbps;
+    double us = latency_us + static_cast<double>(bytes) / (gbps * 1e3);
+    if (!pinned) us += pageable_extra_us;
+    return us;
+  }
+};
+
+}  // namespace smol
+
+#endif  // SMOL_HW_TRANSFER_H_

@@ -1,0 +1,58 @@
+#include "src/preproc/fused.h"
+
+namespace smol {
+
+Status FusedConvertNormalizeSplit(const Image& src,
+                                  const NormalizeParams& params,
+                                  FloatImage* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  if (src.empty()) return Status::InvalidArgument("empty image");
+  out->width = src.width();
+  out->height = src.height();
+  out->channels = src.channels();
+  out->chw = true;
+  out->data.resize(src.size_bytes());
+  return FusedConvertNormalizeSplitInto(src, params, out->data.data(),
+                                        out->data.size());
+}
+
+Status FusedConvertNormalizeSplitInto(const Image& src,
+                                      const NormalizeParams& params,
+                                      float* dst, size_t dst_size) {
+  if (src.empty()) return Status::InvalidArgument("empty image");
+  if (dst == nullptr || dst_size < src.size_bytes()) {
+    return Status::InvalidArgument("destination too small");
+  }
+  const int c = src.channels();
+  const size_t pixels = static_cast<size_t>(src.width()) * src.height();
+  // Precompute the affine transform per channel:
+  //   out = (u8/255 - mean) / std  ==  u8 * scale + offset
+  float scale[3], offset[3];
+  for (int ch = 0; ch < 3; ++ch) {
+    scale[ch] = 1.0f / (255.0f * params.std[ch]);
+    offset[ch] = -params.mean[ch] / params.std[ch];
+  }
+  const uint8_t* p = src.data();
+  if (c == 3) {
+    float* d0 = dst;
+    float* d1 = dst + pixels;
+    float* d2 = dst + 2 * pixels;
+    for (size_t i = 0; i < pixels; ++i) {
+      d0[i] = static_cast<float>(p[i * 3]) * scale[0] + offset[0];
+      d1[i] = static_cast<float>(p[i * 3 + 1]) * scale[1] + offset[1];
+      d2[i] = static_cast<float>(p[i * 3 + 2]) * scale[2] + offset[2];
+    }
+  } else {
+    for (int ch = 0; ch < c; ++ch) {
+      float* d = dst + static_cast<size_t>(ch) * pixels;
+      const float s = scale[ch % 3];
+      const float o = offset[ch % 3];
+      for (size_t i = 0; i < pixels; ++i) {
+        d[i] = static_cast<float>(p[i * c + ch]) * s + o;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace smol

@@ -1,0 +1,27 @@
+// Hand-fused preprocessing kernels (§6.2: "fusion always improves
+// performance"; the paper implements fusion manually, as does this repo).
+#ifndef SMOL_PREPROC_FUSED_H_
+#define SMOL_PREPROC_FUSED_H_
+
+#include "src/preproc/ops.h"
+
+namespace smol {
+
+/// Fused convert + normalize + channel split: u8 HWC -> f32 CHW in one pass.
+/// One read and one write per element, no intermediate buffers. Writes into
+/// \p out (resized as needed) so callers can reuse the destination buffer
+/// across batches (§6.1 memory reuse).
+Status FusedConvertNormalizeSplit(const Image& src,
+                                  const NormalizeParams& params,
+                                  FloatImage* out);
+
+/// Fused variant writing directly into a caller-provided float buffer laid
+/// out as one CHW sample inside a batch tensor (the zero-copy path the
+/// runtime engine uses when filling DNN input batches).
+Status FusedConvertNormalizeSplitInto(const Image& src,
+                                      const NormalizeParams& params,
+                                      float* dst, size_t dst_size);
+
+}  // namespace smol
+
+#endif  // SMOL_PREPROC_FUSED_H_

@@ -1,0 +1,345 @@
+#include "src/preproc/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/preproc/fused.h"
+#include "src/util/macros.h"
+
+namespace smol {
+
+std::string PreprocPlan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += OpKindName(steps[i].kind);
+  }
+  return out;
+}
+
+namespace {
+
+// Geometry tracking while walking a plan: pixel count before/after each step.
+struct Geometry {
+  int width;
+  int height;
+};
+
+// Applies the geometric effect of a step.
+Geometry StepGeometry(const PipelineSpec& spec, const PlanStep& step,
+                      Geometry g) {
+  switch (step.kind) {
+    case OpKind::kResize: {
+      const int cur_short = std::min(g.width, g.height);
+      const double scale = static_cast<double>(step.arg0) /
+                           std::max(1, cur_short);
+      g.width = std::max(1, static_cast<int>(std::lround(g.width * scale)));
+      g.height = std::max(1, static_cast<int>(std::lround(g.height * scale)));
+      return g;
+    }
+    case OpKind::kCrop:
+      g.width = std::min(g.width, step.arg0);
+      g.height = std::min(g.height, step.arg1);
+      return g;
+    default:
+      return g;
+  }
+  (void)spec;
+}
+
+// The four orderable tail ops. Decode is always first (it produces pixels);
+// the tail is some interleaving of {resize, crop} with {convert, normalize,
+// split} subject to: split last among float ops unless fused; normalize after
+// convert (normalization is defined on floats).
+struct TailOrdering {
+  // Positions: resize/crop order flag, and where convert+normalize sit
+  // relative to the geometry ops (before resize, between, after crop).
+  bool crop_before_resize;
+  int convert_pos;  // 0: before geometry ops; 1: between; 2: after
+  bool fused_tail;  // replace convert/normalize/split with the fused kernel
+};
+
+}  // namespace
+
+std::vector<PreprocPlan> PreprocOptimizer::EnumeratePlans(
+    const PipelineSpec& spec) {
+  std::vector<PreprocPlan> plans;
+  for (bool crop_first : {false, true}) {
+    for (int convert_pos : {0, 1, 2}) {
+      for (bool fused : {false, true}) {
+        if (!spec.allow_fusion && fused) continue;
+        // Fused tail performs convert+normalize+split in one pass at the end;
+        // it is only available when conversion happens after geometry ops.
+        if (fused && convert_pos != 2) continue;
+        TailOrdering ord{crop_first, convert_pos, fused};
+        PreprocPlan plan;
+        plan.steps.push_back({OpKind::kDecode, 0, 0});
+        auto add_convert_chain = [&] {
+          plan.steps.push_back({OpKind::kConvertFloat, 0, 0});
+          plan.steps.push_back({OpKind::kNormalize, 0, 0});
+        };
+        if (ord.convert_pos == 0) add_convert_chain();
+        auto add_geometry = [&] {
+          if (ord.crop_before_resize) {
+            // Cropping first at the *scaled* crop size, then resizing, is the
+            // geometry-preserving swap of rule R3: crop a proportionally
+            // larger region, then resize it to the final crop size.
+            plan.steps.push_back({OpKind::kCrop, -1, -1});  // -1 = scaled
+            plan.steps.push_back(
+                {OpKind::kResize, spec.crop_width, spec.crop_height});
+          } else {
+            plan.steps.push_back({OpKind::kResize, spec.resize_short_side, 0});
+            plan.steps.push_back(
+                {OpKind::kCrop, spec.crop_width, spec.crop_height});
+          }
+        };
+        if (ord.convert_pos == 1) {
+          // Convert between resize and crop.
+          if (ord.crop_before_resize) {
+            plan.steps.push_back({OpKind::kCrop, -1, -1});
+            add_convert_chain();
+            plan.steps.push_back(
+                {OpKind::kResize, spec.crop_width, spec.crop_height});
+          } else {
+            plan.steps.push_back({OpKind::kResize, spec.resize_short_side, 0});
+            add_convert_chain();
+            plan.steps.push_back(
+                {OpKind::kCrop, spec.crop_width, spec.crop_height});
+          }
+        } else {
+          add_geometry();
+        }
+        if (ord.convert_pos == 2) {
+          if (ord.fused_tail) {
+            plan.steps.push_back({OpKind::kFusedTail, 0, 0});
+          } else {
+            add_convert_chain();
+          }
+        }
+        if (!ord.fused_tail) {
+          plan.steps.push_back({OpKind::kChannelSplit, 0, 0});
+        }
+        plans.push_back(std::move(plan));
+      }
+    }
+  }
+  return plans;
+}
+
+double PreprocOptimizer::EstimateCost(const PipelineSpec& spec,
+                                      const PreprocPlan& plan) {
+  // Arithmetic-op counting per §6.2: each op charges ops-per-element times
+  // elements at its input geometry; float elements cost 4x u8 elements
+  // (vectorization width ratio), and bilinear resize charges ~8 ops/output
+  // pixel.
+  Geometry g{spec.input_width, spec.input_height};
+  DataType dtype = DataType::kU8;
+  double cost = 0.0;
+  const double c = spec.channels;
+  auto dtype_mult = [&] { return dtype == DataType::kU8 ? 1.0 : 4.0; };
+  for (const PlanStep& step : plan.steps) {
+    switch (step.kind) {
+      case OpKind::kDecode:
+        // Decode cost is charged by the codec, not the DAG optimizer.
+        break;
+      case OpKind::kResize: {
+        Geometry out = StepGeometry(spec, step, g);
+        cost += 8.0 * out.width * out.height * c * dtype_mult();
+        g = out;
+        break;
+      }
+      case OpKind::kCrop: {
+        Geometry out = g;
+        if (step.arg0 == -1) {
+          // Scaled crop (crop-before-resize): output keeps the crop's share
+          // of the final geometry, scaled back to current resolution.
+          const double frac_w =
+              static_cast<double>(spec.crop_width) / spec.resize_short_side;
+          const double frac_h =
+              static_cast<double>(spec.crop_height) / spec.resize_short_side;
+          out.width = std::max(
+              1, static_cast<int>(std::lround(std::min(g.width, g.height) *
+                                              frac_w)));
+          out.height = std::max(
+              1, static_cast<int>(std::lround(std::min(g.width, g.height) *
+                                              frac_h)));
+        } else {
+          out.width = std::min(g.width, step.arg0);
+          out.height = std::min(g.height, step.arg1);
+        }
+        // Crop is a copy: 1 op per output element.
+        cost += 1.0 * out.width * out.height * c * dtype_mult();
+        g = out;
+        break;
+      }
+      case OpKind::kConvertFloat:
+        cost += 2.0 * g.width * g.height * c;  // widen + scale
+        dtype = DataType::kF32;
+        break;
+      case OpKind::kNormalize:
+        cost += 2.0 * g.width * g.height * c * dtype_mult();
+        break;
+      case OpKind::kChannelSplit:
+        cost += 1.0 * g.width * g.height * c * dtype_mult();
+        break;
+      case OpKind::kFusedTail:
+        // One fused pass: multiply-add + scatter, on u8 input.
+        cost += 2.5 * g.width * g.height * c;
+        dtype = DataType::kF32;
+        break;
+    }
+  }
+  return cost;
+}
+
+std::vector<PreprocPlan> PreprocOptimizer::PrunePlans(
+    const PipelineSpec& spec, std::vector<PreprocPlan> plans) {
+  std::vector<PreprocPlan> kept;
+  const bool any_fused = std::any_of(
+      plans.begin(), plans.end(), [](const PreprocPlan& p) {
+        return std::any_of(p.steps.begin(), p.steps.end(), [](const PlanStep& s) {
+          return s.kind == OpKind::kFusedTail;
+        });
+      });
+  for (auto& plan : plans) {
+    bool convert_seen = false;
+    bool resize_after_convert = false;
+    bool has_fused = false;
+    for (const PlanStep& step : plan.steps) {
+      if (step.kind == OpKind::kConvertFloat) convert_seen = true;
+      if (step.kind == OpKind::kResize && convert_seen) {
+        resize_after_convert = true;
+      }
+      if (step.kind == OpKind::kFusedTail) has_fused = true;
+    }
+    // P2: drop plans that resize in f32 when a u8-resize ordering exists.
+    if (resize_after_convert) continue;
+    // P3: fusion always improves performance — when fusion is allowed and a
+    // fused plan exists, drop unfused equivalents.
+    if (spec.allow_fusion && any_fused && !has_fused) continue;
+    kept.push_back(std::move(plan));
+  }
+  return kept;
+}
+
+Result<PreprocPlan> PreprocOptimizer::Optimize(const PipelineSpec& spec) {
+  if (spec.input_width <= 0 || spec.input_height <= 0) {
+    return Status::InvalidArgument("bad input geometry");
+  }
+  auto plans = EnumeratePlans(spec);
+  plans = PrunePlans(spec, std::move(plans));
+  if (plans.empty()) return Status::Internal("no plans survived pruning");
+  PreprocPlan* best = nullptr;
+  for (auto& plan : plans) {
+    plan.estimated_cost = EstimateCost(spec, plan);
+    if (best == nullptr || plan.estimated_cost < best->estimated_cost) {
+      best = &plan;
+    }
+  }
+  return *best;
+}
+
+PreprocPlan PreprocOptimizer::ReferencePlan(const PipelineSpec& spec) {
+  PreprocPlan plan;
+  plan.steps = {
+      {OpKind::kDecode, 0, 0},
+      {OpKind::kResize, spec.resize_short_side, 0},
+      {OpKind::kCrop, spec.crop_width, spec.crop_height},
+      {OpKind::kConvertFloat, 0, 0},
+      {OpKind::kNormalize, 0, 0},
+      {OpKind::kChannelSplit, 0, 0},
+  };
+  plan.estimated_cost = EstimateCost(spec, plan);
+  return plan;
+}
+
+Result<FloatImage> ExecutePlan(const PreprocPlan& plan,
+                               const PipelineSpec& spec,
+                               const Image& decoded) {
+  // State: at any time we hold either a u8 image or a float image.
+  Image u8 = decoded;
+  FloatImage f32;
+  bool in_float = false;
+  for (const PlanStep& step : plan.steps) {
+    switch (step.kind) {
+      case OpKind::kDecode:
+        break;  // caller already decoded
+      case OpKind::kResize: {
+        if (in_float) {
+          if (step.arg1 > 0) {
+            SMOL_ASSIGN_OR_RETURN(f32, ResizeF32(f32, step.arg0, step.arg1));
+          } else {
+            const int cur_short = std::min(f32.width, f32.height);
+            const double scale =
+                static_cast<double>(step.arg0) / std::max(1, cur_short);
+            SMOL_ASSIGN_OR_RETURN(
+                f32, ResizeF32(f32,
+                               std::max(1, static_cast<int>(std::lround(
+                                               f32.width * scale))),
+                               std::max(1, static_cast<int>(std::lround(
+                                               f32.height * scale)))));
+          }
+        } else {
+          if (step.arg1 > 0) {
+            SMOL_ASSIGN_OR_RETURN(u8, ResizeExact(u8, step.arg0, step.arg1));
+          } else {
+            SMOL_ASSIGN_OR_RETURN(u8, ResizeShortSide(u8, step.arg0));
+          }
+        }
+        break;
+      }
+      case OpKind::kCrop: {
+        int cw = step.arg0;
+        int ch = step.arg1;
+        if (cw == -1) {
+          // Scaled crop for the crop-before-resize ordering.
+          const int short_side =
+              in_float ? std::min(f32.width, f32.height)
+                       : std::min(u8.width(), u8.height());
+          cw = std::max(1, static_cast<int>(std::lround(
+                               short_side * static_cast<double>(spec.crop_width) /
+                               spec.resize_short_side)));
+          ch = std::max(1, static_cast<int>(std::lround(
+                               short_side *
+                               static_cast<double>(spec.crop_height) /
+                               spec.resize_short_side)));
+        }
+        if (in_float) {
+          const Roi roi = Roi::CenterCrop(f32.width, f32.height, cw, ch);
+          SMOL_ASSIGN_OR_RETURN(f32, CropF32(f32, roi));
+        } else {
+          SMOL_ASSIGN_OR_RETURN(u8, CenterCrop(u8, std::min(cw, u8.width()),
+                                               std::min(ch, u8.height())));
+        }
+        break;
+      }
+      case OpKind::kConvertFloat: {
+        if (in_float) return Status::Internal("double conversion in plan");
+        SMOL_ASSIGN_OR_RETURN(f32, ConvertToFloat(u8));
+        in_float = true;
+        break;
+      }
+      case OpKind::kNormalize: {
+        if (!in_float) return Status::Internal("normalize before convert");
+        SMOL_RETURN_IF_ERROR(Normalize(&f32, spec.normalize));
+        break;
+      }
+      case OpKind::kChannelSplit: {
+        if (!in_float) return Status::Internal("split before convert");
+        SMOL_ASSIGN_OR_RETURN(f32, ChannelSplit(f32));
+        break;
+      }
+      case OpKind::kFusedTail: {
+        if (in_float) return Status::Internal("fused tail on float input");
+        SMOL_RETURN_IF_ERROR(
+            FusedConvertNormalizeSplit(u8, spec.normalize, &f32));
+        in_float = true;
+        break;
+      }
+    }
+  }
+  if (!in_float) return Status::Internal("plan produced no float output");
+  return f32;
+}
+
+}  // namespace smol

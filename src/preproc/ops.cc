@@ -1,0 +1,204 @@
+#include "src/preproc/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dnn/trainer.h"  // ResizeBilinear on u8 images
+#include "src/util/macros.h"
+
+namespace smol {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDecode:
+      return "Decode";
+    case OpKind::kResize:
+      return "Resize";
+    case OpKind::kCrop:
+      return "Crop";
+    case OpKind::kConvertFloat:
+      return "ConvertFloat";
+    case OpKind::kNormalize:
+      return "Normalize";
+    case OpKind::kChannelSplit:
+      return "ChannelSplit";
+    case OpKind::kFusedTail:
+      return "FusedTail";
+  }
+  return "?";
+}
+
+Result<Image> ResizeShortSide(const Image& src, int short_side) {
+  if (src.empty()) return Status::InvalidArgument("empty image");
+  if (short_side <= 0) return Status::InvalidArgument("bad short side");
+  const int cur_short = std::min(src.width(), src.height());
+  const double scale =
+      static_cast<double>(short_side) / static_cast<double>(cur_short);
+  const int out_w =
+      std::max(1, static_cast<int>(std::lround(src.width() * scale)));
+  const int out_h =
+      std::max(1, static_cast<int>(std::lround(src.height() * scale)));
+  return ResizeBilinear(src, out_w, out_h);
+}
+
+Result<Image> ResizeExact(const Image& src, int out_w, int out_h) {
+  if (src.empty()) return Status::InvalidArgument("empty image");
+  if (out_w <= 0 || out_h <= 0) return Status::InvalidArgument("bad size");
+  return ResizeBilinear(src, out_w, out_h);
+}
+
+Result<Image> ResizeU8(const Image& src, int out_w, int out_h) {
+  return ResizeExact(src, out_w, out_h);
+}
+
+Result<Image> CenterCrop(const Image& src, int crop_w, int crop_h) {
+  if (src.empty()) return Status::InvalidArgument("empty image");
+  if (crop_w > src.width() || crop_h > src.height()) {
+    return Status::OutOfRange("crop larger than image");
+  }
+  return CropImage(src, Roi::CenterCrop(src.width(), src.height(), crop_w,
+                                        crop_h));
+}
+
+Result<FloatImage> ConvertToFloat(const Image& src) {
+  if (src.empty()) return Status::InvalidArgument("empty image");
+  FloatImage out;
+  out.width = src.width();
+  out.height = src.height();
+  out.channels = src.channels();
+  out.chw = false;
+  out.data.resize(src.size_bytes());
+  const uint8_t* p = src.data();
+  for (size_t i = 0; i < out.data.size(); ++i) {
+    out.data[i] = static_cast<float>(p[i]) * (1.0f / 255.0f);
+  }
+  return out;
+}
+
+Status Normalize(FloatImage* img, const NormalizeParams& params) {
+  if (img == nullptr || img->data.empty()) {
+    return Status::InvalidArgument("empty float image");
+  }
+  const int c = img->channels;
+  if (img->chw) {
+    const size_t plane = static_cast<size_t>(img->width) * img->height;
+    for (int ch = 0; ch < c; ++ch) {
+      const float mean = params.mean[ch % 3];
+      const float inv_std = 1.0f / params.std[ch % 3];
+      float* p = img->data.data() + static_cast<size_t>(ch) * plane;
+      for (size_t i = 0; i < plane; ++i) {
+        p[i] = (p[i] - mean) * inv_std;
+      }
+    }
+  } else {
+    float inv_std[3];
+    for (int ch = 0; ch < std::min(c, 3); ++ch) {
+      inv_std[ch] = 1.0f / params.std[ch];
+    }
+    const size_t pixels = static_cast<size_t>(img->width) * img->height;
+    for (size_t i = 0; i < pixels; ++i) {
+      for (int ch = 0; ch < c; ++ch) {
+        float& v = img->data[i * c + ch];
+        v = (v - params.mean[ch % 3]) * inv_std[ch % 3];
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<FloatImage> ChannelSplit(const FloatImage& src) {
+  if (src.data.empty()) return Status::InvalidArgument("empty float image");
+  if (src.chw) return src;  // already planar
+  FloatImage out;
+  out.width = src.width;
+  out.height = src.height;
+  out.channels = src.channels;
+  out.chw = true;
+  out.data.resize(src.data.size());
+  const size_t pixels = static_cast<size_t>(src.width) * src.height;
+  for (size_t i = 0; i < pixels; ++i) {
+    for (int c = 0; c < src.channels; ++c) {
+      out.data[static_cast<size_t>(c) * pixels + i] =
+          src.data[i * src.channels + c];
+    }
+  }
+  return out;
+}
+
+Result<FloatImage> ResizeF32(const FloatImage& src, int out_w, int out_h) {
+  if (src.data.empty()) return Status::InvalidArgument("empty float image");
+  if (src.chw) {
+    return Status::InvalidArgument("ResizeF32 expects HWC layout");
+  }
+  FloatImage out;
+  out.width = out_w;
+  out.height = out_h;
+  out.channels = src.channels;
+  out.chw = false;
+  out.data.resize(static_cast<size_t>(out_w) * out_h * src.channels);
+  const float sx = static_cast<float>(src.width) / out_w;
+  const float sy = static_cast<float>(src.height) / out_h;
+  const int c = src.channels;
+  for (int y = 0; y < out_h; ++y) {
+    const float fy = (y + 0.5f) * sy - 0.5f;
+    int y0 = static_cast<int>(std::floor(fy));
+    const float wy = fy - y0;
+    int y1 = std::clamp(y0 + 1, 0, src.height - 1);
+    y0 = std::clamp(y0, 0, src.height - 1);
+    for (int x = 0; x < out_w; ++x) {
+      const float fx = (x + 0.5f) * sx - 0.5f;
+      int x0 = static_cast<int>(std::floor(fx));
+      const float wx = fx - x0;
+      int x1 = std::clamp(x0 + 1, 0, src.width - 1);
+      x0 = std::clamp(x0, 0, src.width - 1);
+      for (int ch = 0; ch < c; ++ch) {
+        const float v00 = src.data[(static_cast<size_t>(y0) * src.width + x0) * c + ch];
+        const float v01 = src.data[(static_cast<size_t>(y0) * src.width + x1) * c + ch];
+        const float v10 = src.data[(static_cast<size_t>(y1) * src.width + x0) * c + ch];
+        const float v11 = src.data[(static_cast<size_t>(y1) * src.width + x1) * c + ch];
+        out.data[(static_cast<size_t>(y) * out_w + x) * c + ch] =
+            v00 * (1 - wx) * (1 - wy) + v01 * wx * (1 - wy) +
+            v10 * (1 - wx) * wy + v11 * wx * wy;
+      }
+    }
+  }
+  return out;
+}
+
+Result<FloatImage> CropF32(const FloatImage& src, const Roi& roi) {
+  if (src.data.empty()) return Status::InvalidArgument("empty float image");
+  if (roi.empty() || roi.x < 0 || roi.y < 0 || roi.x + roi.width > src.width ||
+      roi.y + roi.height > src.height) {
+    return Status::OutOfRange("ROI exceeds image bounds");
+  }
+  FloatImage out;
+  out.width = roi.width;
+  out.height = roi.height;
+  out.channels = src.channels;
+  out.chw = src.chw;
+  out.data.resize(static_cast<size_t>(roi.width) * roi.height * src.channels);
+  if (src.chw) {
+    const size_t src_plane = static_cast<size_t>(src.width) * src.height;
+    const size_t dst_plane = static_cast<size_t>(roi.width) * roi.height;
+    for (int c = 0; c < src.channels; ++c) {
+      for (int y = 0; y < roi.height; ++y) {
+        const float* s = src.data.data() + c * src_plane +
+                         static_cast<size_t>(roi.y + y) * src.width + roi.x;
+        float* d = out.data.data() + c * dst_plane +
+                   static_cast<size_t>(y) * roi.width;
+        std::copy(s, s + roi.width, d);
+      }
+    }
+  } else {
+    const int c = src.channels;
+    for (int y = 0; y < roi.height; ++y) {
+      const float* s = src.data.data() +
+                       (static_cast<size_t>(roi.y + y) * src.width + roi.x) * c;
+      float* d = out.data.data() + static_cast<size_t>(y) * roi.width * c;
+      std::copy(s, s + static_cast<size_t>(roi.width) * c, d);
+    }
+  }
+  return out;
+}
+
+}  // namespace smol

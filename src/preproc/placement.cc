@@ -1,0 +1,73 @@
+#include "src/preproc/placement.h"
+
+#include <algorithm>
+
+namespace smol {
+
+std::string Placement::ToString() const {
+  static const char* kNames[] = {
+      "all-CPU", "split-on-accel", "normalize+split-on-accel",
+      "resize+normalize+split-on-accel"};
+  std::string out = kNames[std::clamp(stages_on_accelerator, 0, 3)];
+  out += " (cpu=" + std::to_string(static_cast<int>(cpu_throughput));
+  out += " dnn=" + std::to_string(static_cast<int>(effective_dnn_throughput));
+  out += " e2e=" + std::to_string(static_cast<int>(end_to_end_throughput));
+  out += " im/s)";
+  return out;
+}
+
+std::vector<Placement> PlacementOptimizer::EnumeratePlacements(
+    const Inputs& inputs) {
+  using PTM = PreprocThroughputModel;
+  const PTM::StageCosts costs = PTM::StageCostsFor(inputs.format);
+  // Stage order after decode: resize, normalize, split. Moving k stages to
+  // the accelerator removes them from the CPU cost tail-first (split first,
+  // then normalize, then resize) because the pipeline is sequential and the
+  // device-adjacent stages move first.
+  const double stage_us[3] = {costs.resize_us, costs.normalize_us,
+                              costs.split_us};
+  const double ref_eff = EffectiveCores(4);
+  const double eff = EffectiveCores(inputs.vcpus);
+  std::vector<Placement> placements;
+  for (int k = 0; k <= 3; ++k) {
+    Placement p;
+    p.stages_on_accelerator = k;
+    double cpu_us = costs.decode_us;
+    for (int s = 0; s < 3 - k; ++s) cpu_us += stage_us[s];
+    // Convert the 4-vCPU-aggregate stage costs to this machine's core count.
+    p.cpu_throughput = 1e6 / (cpu_us * ref_eff) * eff;
+    // Accelerator absorbs the moved stages at its preprocessing rate,
+    // proportionally to how much work moved.
+    double accel_us_moved = 0.0;
+    for (int s = 3 - k; s < 3; ++s) accel_us_moved += stage_us[s];
+    const double total_movable =
+        costs.resize_us + costs.normalize_us + costs.split_us;
+    double dnn_tput = inputs.dnn_throughput;
+    if (accel_us_moved > 0.0 && total_movable > 0.0) {
+      const double accel_pre_tput =
+          PTM::AcceleratorSideThroughput(inputs.format, inputs.gpu) *
+          (total_movable / accel_us_moved);
+      // Device time adds: 1/effective = 1/dnn + 1/accel_pre.
+      dnn_tput = 1.0 / (1.0 / inputs.dnn_throughput + 1.0 / accel_pre_tput);
+    }
+    p.effective_dnn_throughput = dnn_tput;
+    p.end_to_end_throughput = std::min(p.cpu_throughput, dnn_tput);
+    placements.push_back(p);
+  }
+  std::sort(placements.begin(), placements.end(),
+            [](const Placement& a, const Placement& b) {
+              return a.end_to_end_throughput > b.end_to_end_throughput;
+            });
+  return placements;
+}
+
+Result<Placement> PlacementOptimizer::Choose(const Inputs& inputs) {
+  if (inputs.dnn_throughput <= 0.0) {
+    return Status::InvalidArgument("bad DNN throughput");
+  }
+  auto placements = EnumeratePlacements(inputs);
+  if (placements.empty()) return Status::Internal("no placements");
+  return placements.front();
+}
+
+}  // namespace smol

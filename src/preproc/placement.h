@@ -1,0 +1,59 @@
+// CPU / accelerator placement of preprocessing operations (§6.3).
+//
+// Decode (entropy decoding) is branchy and stays on the CPU (§6.4 notes it is
+// not efficient on accelerators). The remaining stages — resize, normalize,
+// convert, split — are elementwise/memory-bound and map well to the
+// accelerator. Because the pipeline is sequential, a placement is just a cut
+// point: ops before the cut run on the CPU, ops after it on the accelerator,
+// so only a handful of configurations exist per plan (the paper notes
+// "typically under 5").
+#ifndef SMOL_PREPROC_PLACEMENT_H_
+#define SMOL_PREPROC_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hw/throughput_model.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief One candidate placement: how many post-decode stages move to the
+/// accelerator (0 = all CPU ... 3 = resize+normalize+split on accelerator).
+struct Placement {
+  int stages_on_accelerator = 0;
+
+  /// CPU-side preprocessing throughput under this placement (im/s).
+  double cpu_throughput = 0.0;
+  /// Accelerator-side cost expressed as extra device time per image; the
+  /// effective DNN throughput after absorbing the moved stages (im/s).
+  double effective_dnn_throughput = 0.0;
+  /// Pipelined end-to-end estimate = min(cpu, effective_dnn).
+  double end_to_end_throughput = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief Chooses where to cut the pipeline between CPU and accelerator.
+class PlacementOptimizer {
+ public:
+  struct Inputs {
+    PreprocFormat format = PreprocFormat::kFullResJpeg;
+    int vcpus = 4;
+    GpuModel gpu = GpuModel::kT4;
+    /// Pure DNN execution throughput for the deployed model (im/s).
+    double dnn_throughput = 4513.0;
+  };
+
+  /// Evaluates every cut point (§6.3: if DNN execution dominates, keep ops on
+  /// the CPU; if preprocessing dominates, move ops to the accelerator) and
+  /// returns all candidates, best first.
+  static std::vector<Placement> EnumeratePlacements(const Inputs& inputs);
+
+  /// The best placement by pipelined end-to-end throughput.
+  static Result<Placement> Choose(const Inputs& inputs);
+};
+
+}  // namespace smol
+
+#endif  // SMOL_PREPROC_PLACEMENT_H_

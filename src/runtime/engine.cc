@@ -1,0 +1,170 @@
+#include "src/runtime/engine.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/preproc/fused.h"
+#include "src/util/logging.h"
+#include "src/util/macros.h"
+#include "src/util/mpmc_queue.h"
+#include "src/util/stopwatch.h"
+
+namespace smol {
+
+namespace {
+
+/// A preprocessed sample flowing from producers to consumers.
+struct PreprocessedItem {
+  std::unique_ptr<PooledBuffer> buffer;  // f32 CHW bytes
+  size_t float_count = 0;
+  int label = 0;
+};
+
+}  // namespace
+
+Engine::Engine(EngineOptions options, PipelineSpec pipeline_spec,
+               std::function<Result<Image>(const WorkItem&)> decode,
+               std::shared_ptr<SimAccelerator> accel)
+    : options_(options),
+      pipeline_spec_(pipeline_spec),
+      decode_(std::move(decode)),
+      accel_(std::move(accel)) {
+  if (options_.num_producers <= 0) {
+    options_.num_producers =
+        static_cast<int>(std::thread::hardware_concurrency());
+    if (options_.num_producers <= 0) options_.num_producers = 2;
+  }
+  if (!options_.enable_threading) options_.num_producers = 1;
+  if (options_.num_consumers <= 0) options_.num_consumers = 1;
+
+  // Compile the preprocessing plan once (§6.2); the lesion toggle falls back
+  // to the naive §2 ordering.
+  PipelineSpec spec = pipeline_spec_;
+  spec.allow_fusion = options_.enable_dag_opt;
+  if (options_.enable_dag_opt) {
+    auto optimized = PreprocOptimizer::Optimize(spec);
+    plan_ = optimized.ok() ? optimized.value()
+                           : PreprocOptimizer::ReferencePlan(spec);
+  } else {
+    plan_ = PreprocOptimizer::ReferencePlan(spec);
+  }
+}
+
+Result<EngineStats> Engine::Run(const std::vector<WorkItem>& items) {
+  if (accel_ == nullptr) return Status::InvalidArgument("null accelerator");
+  if (items.empty()) return Status::InvalidArgument("no work items");
+
+  BufferPool::Options pool_opts;
+  pool_opts.enable_reuse = options_.enable_memory_reuse;
+  pool_opts.pin_buffers = options_.enable_pinned;
+  BufferPool pool(pool_opts);
+
+  MpmcQueue<PreprocessedItem> queue(
+      static_cast<size_t>(options_.queue_capacity));
+  std::atomic<size_t> next_item{0};
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mutex;
+  std::atomic<uint64_t> images_done{0};
+  std::atomic<uint64_t> decode_us_total{0};
+  std::atomic<uint64_t> preproc_us_total{0};
+
+  auto record_error = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error.ok()) first_error = s;
+    failed.store(true);
+  };
+
+  Stopwatch wall;
+
+  // --- Producers: decode + preprocess -> queue -------------------------------
+  auto producer_fn = [&] {
+    for (;;) {
+      const size_t idx = next_item.fetch_add(1);
+      if (idx >= items.size() || failed.load()) break;
+      const WorkItem& item = items[idx];
+      Stopwatch sw;
+      auto decoded = decode_(item);
+      decode_us_total.fetch_add(static_cast<uint64_t>(sw.ElapsedMicros()));
+      if (!decoded.ok()) {
+        record_error(decoded.status());
+        break;
+      }
+      sw.Restart();
+      auto preprocessed = ExecutePlan(plan_, pipeline_spec_, decoded.value());
+      preproc_us_total.fetch_add(static_cast<uint64_t>(sw.ElapsedMicros()));
+      if (!preprocessed.ok()) {
+        record_error(preprocessed.status());
+        break;
+      }
+      // Copy into a pooled (possibly pinned) staging buffer. When memory
+      // reuse is on, this recycles a prior batch's buffer.
+      PreprocessedItem out;
+      out.float_count = preprocessed->data.size();
+      out.label = item.label;
+      out.buffer = pool.Get(out.float_count * sizeof(float));
+      std::memcpy(out.buffer->data.data(), preprocessed->data.data(),
+                  out.float_count * sizeof(float));
+      if (!queue.Push(std::move(out))) break;  // queue closed
+    }
+  };
+
+  // --- Consumers: batch -> accelerator ---------------------------------------
+  auto consumer_fn = [&] {
+    std::vector<PreprocessedItem> batch;
+    batch.reserve(static_cast<size_t>(options_.batch_size));
+    auto flush = [&] {
+      if (batch.empty()) return;
+      size_t bytes = 0;
+      bool pinned = true;
+      for (const auto& it : batch) {
+        bytes += it.buffer->data.size();
+        pinned = pinned && it.buffer->pinned;
+      }
+      accel_->ExecuteBatch(static_cast<int>(batch.size()), bytes, pinned);
+      images_done.fetch_add(batch.size());
+      for (auto& it : batch) pool.Put(std::move(it.buffer));
+      batch.clear();
+    };
+    while (auto item = queue.Pop()) {
+      batch.push_back(std::move(*item));
+      if (static_cast<int>(batch.size()) >= options_.batch_size) flush();
+    }
+    flush();  // drain the tail
+  };
+
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<size_t>(options_.num_producers));
+  for (int i = 0; i < options_.num_producers; ++i) {
+    producers.emplace_back(producer_fn);
+  }
+  std::vector<std::thread> consumers;
+  consumers.reserve(static_cast<size_t>(options_.num_consumers));
+  for (int i = 0; i < options_.num_consumers; ++i) {
+    consumers.emplace_back(consumer_fn);
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  if (failed.load()) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    return first_error;
+  }
+
+  EngineStats stats;
+  stats.images = images_done.load();
+  stats.wall_seconds = wall.ElapsedSeconds();
+  stats.throughput_ims =
+      stats.wall_seconds > 0
+          ? static_cast<double>(stats.images) / stats.wall_seconds
+          : 0.0;
+  stats.decode_seconds = static_cast<double>(decode_us_total.load()) * 1e-6;
+  stats.preprocess_seconds =
+      static_cast<double>(preproc_us_total.load()) * 1e-6;
+  stats.buffer_stats = pool.stats();
+  stats.accel_stats = accel_->stats();
+  return stats;
+}
+
+}  // namespace smol

@@ -1,0 +1,89 @@
+// The Smol execution engine (§6.1, Appendix A).
+//
+// Producers decode + preprocess images on a thread pool; consumers batch the
+// preprocessed buffers, stage them into (simulated-)pinned memory, and submit
+// to the accelerator. Producers and consumers communicate through a bounded
+// MPMC queue. Every optimization the paper lesions in Figures 7/8 is an
+// independent toggle:
+//   threading    — producer count = vCPUs vs. a single producer
+//   memory reuse — buffer pool recycling vs. fresh allocation per image
+//   pinned       — staging buffers registered as pinned vs. pageable
+//   DAG          — optimized preprocessing plan vs. the naive §2 ordering
+#ifndef SMOL_RUNTIME_ENGINE_H_
+#define SMOL_RUNTIME_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/codec/image.h"
+#include "src/hw/sim_accelerator.h"
+#include "src/preproc/graph.h"
+#include "src/util/buffer_pool.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief Engine configuration (the Fig. 7/8 toggles + sizing knobs).
+struct EngineOptions {
+  bool enable_threading = true;   ///< multi-producer preprocessing
+  bool enable_memory_reuse = true;
+  bool enable_pinned = true;
+  bool enable_dag_opt = true;
+
+  int num_producers = 0;   ///< 0 = hardware concurrency (§6.1 heuristic)
+  int num_consumers = 2;   ///< CUDA-stream analogues
+  int queue_capacity = 64;
+  int batch_size = 16;
+};
+
+/// \brief A unit of work: one stored (encoded) image.
+struct WorkItem {
+  const std::vector<uint8_t>* bytes = nullptr;  ///< encoded stream
+  int label = 0;
+  /// Optional ROI for partial decoding (empty = full decode).
+  Roi roi;
+};
+
+/// \brief End-to-end run statistics.
+struct EngineStats {
+  uint64_t images = 0;
+  double wall_seconds = 0.0;
+  double throughput_ims = 0.0;
+  double decode_seconds = 0.0;      // summed across producers
+  double preprocess_seconds = 0.0;  // summed across producers
+  BufferPoolStats buffer_stats;
+  SimAccelerator::Stats accel_stats;
+};
+
+/// \brief The pipelined inference engine.
+///
+/// The decode step is pluggable so the engine serves images (SJPG/SPNG) and
+/// video frames alike; the preprocessing plan comes from the DAG optimizer.
+class Engine {
+ public:
+  /// \p decode maps an item to pixels; \p accel models the DNN device.
+  Engine(EngineOptions options, PipelineSpec pipeline_spec,
+         std::function<Result<Image>(const WorkItem&)> decode,
+         std::shared_ptr<SimAccelerator> accel);
+
+  /// Runs the full pipeline over \p items and reports statistics.
+  Result<EngineStats> Run(const std::vector<WorkItem>& items);
+
+  /// The preprocessing plan the engine compiled (after DAG optimization or
+  /// the reference ordering when the DAG toggle is off).
+  const PreprocPlan& plan() const { return plan_; }
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  EngineOptions options_;
+  PipelineSpec pipeline_spec_;
+  PreprocPlan plan_;
+  std::function<Result<Image>(const WorkItem&)> decode_;
+  std::shared_ptr<SimAccelerator> accel_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_RUNTIME_ENGINE_H_

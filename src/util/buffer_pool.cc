@@ -1,0 +1,63 @@
+#include "src/util/buffer_pool.h"
+
+namespace smol {
+
+BufferPool::BufferPool() : BufferPool(Options()) {}
+
+BufferPool::BufferPool(Options options) : options_(options) {}
+
+size_t BufferPool::Bucket(size_t size) {
+  // Round up to the next power of two, minimum 4 KiB, so resized requests of
+  // similar magnitude hit the same free list.
+  size_t bucket = 4096;
+  while (bucket < size) bucket <<= 1;
+  return bucket;
+}
+
+std::unique_ptr<PooledBuffer> BufferPool::Get(size_t size) {
+  const size_t bucket = Bucket(size);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.enable_reuse) {
+      auto it = free_.find(bucket);
+      if (it != free_.end() && !it->second.empty()) {
+        auto buf = std::move(it->second.back());
+        it->second.pop_back();
+        buf->data.resize(size);
+        buf->reuse_count++;
+        stats_.reuses++;
+        return buf;
+      }
+    }
+    stats_.allocations++;
+    stats_.bytes_allocated += bucket;
+  }
+  auto buf = std::make_unique<PooledBuffer>();
+  const size_t reserve = options_.enable_reuse
+                             ? static_cast<size_t>(
+                                   static_cast<double>(bucket) *
+                                   options_.overallocation_factor)
+                             : size;
+  buf->data.reserve(reserve);
+  buf->data.resize(size);
+  buf->pinned = options_.pin_buffers;
+  buf->bucket = bucket;
+  return buf;
+}
+
+void BufferPool::Put(std::unique_ptr<PooledBuffer> buffer) {
+  if (buffer == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.returns++;
+  if (!options_.enable_reuse) return;  // dropping the unique_ptr frees it
+  const size_t bucket =
+      buffer->bucket > 0 ? buffer->bucket : Bucket(buffer->data.size());
+  free_[bucket].push_back(std::move(buffer));
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace smol

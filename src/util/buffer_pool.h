@@ -1,0 +1,76 @@
+// Reusable buffer pool with simulated pinned-memory registration.
+//
+// §6.1 / Appendix A: Smol allocates DNN-input and staging buffers once and
+// reuses them across batches; buffers destined for the accelerator are pinned
+// for fast DMA. On this substrate "pinning" is modelled: the pool tracks which
+// buffers are registered as pinned, and the hardware transfer model
+// (src/hw/transfer.h) charges a lower per-byte cost for pinned sources.
+#ifndef SMOL_UTIL_BUFFER_POOL_H_
+#define SMOL_UTIL_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace smol {
+
+/// \brief A byte buffer handed out by BufferPool.
+struct PooledBuffer {
+  std::vector<uint8_t> data;
+  bool pinned = false;
+  /// Generation counter: how many times this allocation has been reused.
+  uint64_t reuse_count = 0;
+  /// Size class this buffer was allocated under (set by the pool).
+  size_t bucket = 0;
+};
+
+/// \brief Statistics for observing allocator behaviour in tests/benches.
+struct BufferPoolStats {
+  uint64_t allocations = 0;  ///< Fresh allocations performed.
+  uint64_t reuses = 0;       ///< Requests served from the free list.
+  uint64_t returns = 0;      ///< Buffers returned to the pool.
+  uint64_t bytes_allocated = 0;
+};
+
+/// \brief Size-bucketed pool of reusable byte buffers.
+///
+/// With reuse disabled (the "- mem reuse" lesion in Fig. 7) every Get performs
+/// a fresh allocation and Put frees, reproducing the allocation churn of
+/// training-oriented loaders the paper contrasts against.
+class BufferPool {
+ public:
+  struct Options {
+    bool enable_reuse = true;  ///< Lesion toggle: serve from free lists.
+    bool pin_buffers = true;   ///< Lesion toggle: register buffers as pinned.
+    /// §6.1: over-allocate so producers do not contend with consumers.
+    double overallocation_factor = 1.5;
+  };
+
+  BufferPool();  // default options
+  explicit BufferPool(Options options);
+
+  /// Returns a buffer with at least \p size bytes (size() == \p size).
+  std::unique_ptr<PooledBuffer> Get(size_t size);
+
+  /// Returns \p buffer to the pool (or frees it when reuse is disabled).
+  void Put(std::unique_ptr<PooledBuffer> buffer);
+
+  BufferPoolStats stats() const;
+  const Options& options() const { return options_; }
+
+ private:
+  // Buckets by rounded-up capacity so nearly-equal sizes share a free list.
+  static size_t Bucket(size_t size);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<size_t, std::vector<std::unique_ptr<PooledBuffer>>> free_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_UTIL_BUFFER_POOL_H_

@@ -1,0 +1,46 @@
+// Minimal leveled logging used by the runtime engine and benches.
+#ifndef SMOL_UTIL_LOGGING_H_
+#define SMOL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace smol {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+/// Emits one formatted log line to stderr (thread-safe).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace smol
+
+#define SMOL_LOG(level)                                              \
+  if (::smol::LogLevel::level >= ::smol::GetLogLevel())              \
+  ::smol::internal::LogStream(::smol::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // SMOL_UTIL_LOGGING_H_

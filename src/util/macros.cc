@@ -1,0 +1,13 @@
+#include "src/util/macros.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smol::internal {
+
+void CheckOkFailed(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "SMOL_CHECK_OK failed at %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace smol::internal

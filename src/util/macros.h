@@ -1,0 +1,43 @@
+// Error-propagation macros (Arrow/RocksDB style).
+#ifndef SMOL_UTIL_MACROS_H_
+#define SMOL_UTIL_MACROS_H_
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+/// Evaluates \p expr (a Status); returns it from the enclosing function if not OK.
+#define SMOL_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::smol::Status _smol_status = (expr);         \
+    if (!_smol_status.ok()) return _smol_status;  \
+  } while (false)
+
+#define SMOL_CONCAT_IMPL(a, b) a##b
+#define SMOL_CONCAT(a, b) SMOL_CONCAT_IMPL(a, b)
+
+/// Evaluates \p expr (a Result<T>); on success assigns the value to \p lhs,
+/// otherwise returns the error status from the enclosing function.
+#define SMOL_ASSIGN_OR_RETURN(lhs, expr)                             \
+  SMOL_ASSIGN_OR_RETURN_IMPL(SMOL_CONCAT(_smol_res_, __LINE__), lhs, \
+                             expr)
+
+#define SMOL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)    \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).MoveValue()
+
+/// Aborts on non-OK status; for use in tests, examples and benchmarks only.
+#define SMOL_CHECK_OK(expr)                                             \
+  do {                                                                  \
+    ::smol::Status _smol_status = (expr);                               \
+    if (!_smol_status.ok()) {                                           \
+      ::smol::internal::CheckOkFailed(__FILE__, __LINE__,               \
+                                      _smol_status.ToString().c_str()); \
+    }                                                                   \
+  } while (false)
+
+namespace smol::internal {
+[[noreturn]] void CheckOkFailed(const char* file, int line, const char* msg);
+}  // namespace smol::internal
+
+#endif  // SMOL_UTIL_MACROS_H_

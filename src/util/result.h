@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// functions (Arrow style).
+#ifndef SMOL_UTIL_RESULT_H_
+#define SMOL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace smol {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Accessing the value of a failed Result is a programming error (asserted in
+/// debug builds). Use the SMOL_ASSIGN_OR_RETURN macro to propagate errors.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from \p status; \p status must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) status_ = Status::Internal("Result from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (OK when ok()).
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out; requires ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or \p fallback if this result failed.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_UTIL_RESULT_H_

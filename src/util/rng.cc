@@ -1,0 +1,18 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace smol {
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; draw until u1 is nonzero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = UniformDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace smol

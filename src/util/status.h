@@ -1,0 +1,113 @@
+// Status: error-handling primitive used across the library (Arrow/RocksDB style).
+// No exceptions cross library boundaries; fallible functions return Status or
+// Result<T> (see result.h).
+#ifndef SMOL_UTIL_STATUS_H_
+#define SMOL_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace smol {
+
+/// Machine-comparable error categories.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kCorruption = 8,
+  kResourceExhausted = 9,
+  kCancelled = 10,
+  kInfeasible = 11,  // No plan satisfies the requested constraints.
+};
+
+/// Returns a stable human-readable name for \p code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: either OK or a code plus message.
+///
+/// Statuses are cheap to copy when OK (no allocation) and must be checked by
+/// the caller; helper macros live in macros.h.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with \p code and a diagnostic \p msg.
+  Status(StatusCode code, std::string msg);
+
+  /// Factory helpers, one per category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// Error category; kOk when ok().
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// Diagnostic message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr means OK: keeps the success path allocation-free.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace smol
+
+#endif  // SMOL_UTIL_STATUS_H_

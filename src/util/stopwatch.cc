@@ -1,0 +1,48 @@
+#include "src/util/stopwatch.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace smol {
+
+namespace {
+
+// Volatile sink defeats dead-code elimination of the spin loop.
+volatile uint64_t g_busy_sink = 0;
+
+uint64_t SpinIterations(uint64_t iters) {
+  uint64_t acc = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t i = 0; i < iters; ++i) {
+    acc ^= acc << 13;
+    acc ^= acc >> 7;
+    acc ^= acc << 17;
+  }
+  return acc;
+}
+
+double CalibrateItersPerMicro() {
+  // Measure a chunk large enough to dominate timer overhead.
+  constexpr uint64_t kProbe = 2'000'000;
+  Stopwatch sw;
+  g_busy_sink = SpinIterations(kProbe);
+  const double us = sw.ElapsedMicros();
+  return us > 0 ? static_cast<double>(kProbe) / us : 1000.0;
+}
+
+std::once_flag g_calib_once;
+double g_iters_per_us = 0.0;
+
+}  // namespace
+
+double BusyWorkCalibration() {
+  std::call_once(g_calib_once, [] { g_iters_per_us = CalibrateItersPerMicro(); });
+  return g_iters_per_us;
+}
+
+void BusyWorkMicros(double micros) {
+  if (micros <= 0) return;
+  const double iters = micros * BusyWorkCalibration();
+  g_busy_sink = SpinIterations(static_cast<uint64_t>(iters));
+}
+
+}  // namespace smol

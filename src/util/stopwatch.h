@@ -1,0 +1,40 @@
+// Wall-clock stopwatch + a busy-work primitive used to emulate calibrated
+// stage costs in pipelining experiments (Table 3).
+#ifndef SMOL_UTIL_STOPWATCH_H_
+#define SMOL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace smol {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Spins the CPU for approximately \p micros microseconds of real work.
+/// Unlike sleeping, this occupies a core, so it models a compute-bound stage
+/// (used by the cost-model validation bench to create balanced /
+/// preprocessing-bound / DNN-bound configurations with known service times).
+void BusyWorkMicros(double micros);
+
+/// Calibration hook: returns iterations/µs of the busy-work loop.
+double BusyWorkCalibration();
+
+}  // namespace smol
+
+#endif  // SMOL_UTIL_STOPWATCH_H_

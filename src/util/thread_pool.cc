@@ -1,0 +1,77 @@
+#include "src/util/thread_pool.h"
+
+namespace smol {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  // The counter increments inside the packaged task so it is ordered before
+  // the future becomes ready (observers waiting on the future see it).
+  std::packaged_task<void()> task([this, fn = std::move(fn)] {
+    fn();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::future<void> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || threads_.size() == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Static block partitioning: preprocessing items are roughly uniform cost.
+  const size_t workers = std::min(n, threads_.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = n * w / workers;
+    const size_t end = n * (w + 1) / workers;
+    futures.push_back(Submit([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace smol

@@ -1,0 +1,57 @@
+// Fixed-size worker pool used for data-parallel preprocessing.
+#ifndef SMOL_UTIL_THREAD_POOL_H_
+#define SMOL_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace smol {
+
+/// \brief A simple fixed-size thread pool.
+///
+/// §6.1: "setting the number of producers to be equal to the number of vCPU
+/// cores [is] an efficient heuristic for non-NUMA servers" — the pool size
+/// defaults to the hardware concurrency for that reason.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues \p fn for execution; returns a future for completion.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Number of tasks executed since construction (for tests/stats).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<uint64_t> tasks_executed_{0};
+};
+
+}  // namespace smol
+
+#endif  // SMOL_UTIL_THREAD_POOL_H_

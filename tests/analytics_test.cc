@@ -1,0 +1,229 @@
+// Tests for src/analytics: Tahoma cascades (threshold semantics, calibration)
+// and the BlazeIt control-variate estimator (unbiasedness, variance
+// reduction, stopping behaviour).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analytics/blazeit.h"
+#include "src/analytics/tahoma.h"
+#include "src/data/synth_image.h"
+#include "tests/test_util.h"
+
+namespace smol {
+namespace {
+
+// --- Cascades --------------------------------------------------------------------
+
+class CascadeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SynthImageOptions gen_opts;
+    gen_opts.width = 32;
+    gen_opts.height = 32;
+    gen_opts.num_classes = 2;
+    gen_opts.noise = 6.0;
+    gen_opts.seed = 55;
+    SynthImageGenerator gen(gen_opts);
+    train_.num_classes = val_.num_classes = 2;
+    for (int i = 0; i < 160; ++i) {
+      train_.images.push_back(gen.Generate(i % 2, i));
+      train_.labels.push_back(i % 2);
+    }
+    for (int i = 0; i < 60; ++i) {
+      val_.images.push_back(gen.Generate(i % 2, 5000 + i));
+      val_.labels.push_back(i % 2);
+    }
+    // Specialized: tiny net, briefly trained. Target: bigger net, trained
+    // longer (more accurate).
+    auto spec_s = GetSmolNetSpec("smolnet18", 2);
+    ASSERT_TRUE(spec_s.ok());
+    auto spec_t = GetSmolNetSpec("smolnet34", 2);
+    ASSERT_TRUE(spec_t.ok());
+    specialized_ = std::move(BuildSmolNet(spec_s.value(), 3)).MoveValue();
+    target_ = std::move(BuildSmolNet(spec_t.value(), 4)).MoveValue();
+    TrainOptions topts;
+    topts.epochs = 2;
+    ASSERT_TRUE(TrainModel(specialized_.get(), train_, val_, topts).ok());
+    topts.epochs = 6;
+    ASSERT_TRUE(TrainModel(target_.get(), train_, val_, topts).ok());
+  }
+
+  LabeledImages train_, val_;
+  std::unique_ptr<Model> specialized_, target_;
+};
+
+TEST_F(CascadeTest, ThresholdZeroNeverForwards) {
+  Cascade cascade(specialized_.get(), target_.get(), 0.0);
+  ASSERT_OK_AND_ASSIGN(auto calib, cascade.Calibrate(val_));
+  EXPECT_EQ(calib.pass_through_rate, 0.0);
+}
+
+TEST_F(CascadeTest, ThresholdAboveOneAlwaysForwards) {
+  Cascade cascade(specialized_.get(), target_.get(), 1.01);
+  ASSERT_OK_AND_ASSIGN(auto calib, cascade.Calibrate(val_));
+  EXPECT_EQ(calib.pass_through_rate, 1.0);
+  // Forwarding everything means target-model accuracy.
+  ASSERT_OK_AND_ASSIGN(double target_acc, EvaluateModel(target_.get(), val_));
+  EXPECT_NEAR(calib.accuracy, target_acc, 1e-9);
+}
+
+TEST_F(CascadeTest, PassThroughMonotoneInThreshold) {
+  ASSERT_OK_AND_ASSIGN(
+      auto points, SweepCascade(specialized_.get(), target_.get(), val_,
+                                {0.0, 0.5, 0.8, 0.95, 1.01}));
+  ASSERT_EQ(points.size(), 5u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].pass_through_rate,
+              points[i - 1].pass_through_rate - 1e-9);
+  }
+}
+
+TEST_F(CascadeTest, OperatingPointThroughputUsesCostModel) {
+  CascadeOperatingPoint point{0.8, 0.9, 0.3};
+  // Pipelined (min): bound by preprocessing here.
+  const double pipelined =
+      point.EstimatedThroughput(1000.0, 50000.0, 2000.0, true);
+  EXPECT_NEAR(pipelined, 1000.0, 1e-6);
+  // Unpipelined (sum) is always lower.
+  const double summed =
+      point.EstimatedThroughput(1000.0, 50000.0, 2000.0, false);
+  EXPECT_LT(summed, pipelined);
+}
+
+TEST_F(CascadeTest, EmptyValidationRejected) {
+  Cascade cascade(specialized_.get(), target_.get(), 0.5);
+  LabeledImages empty;
+  EXPECT_FALSE(cascade.Calibrate(empty).ok());
+}
+
+// --- Control variates -----------------------------------------------------------------
+
+// Synthetic per-frame counts plus a correlated proxy.
+struct SyntheticCounts {
+  std::vector<double> truth;
+  std::vector<double> proxy;
+  double true_mean = 0.0;
+};
+
+SyntheticCounts MakeCounts(int n, double proxy_noise, uint64_t seed = 3) {
+  SyntheticCounts out;
+  Rng rng(seed);
+  out.truth.reserve(n);
+  out.proxy.reserve(n);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = std::max(0.0, rng.Normal(2.0, 1.2));
+    out.truth.push_back(std::floor(t));
+    sum += out.truth.back();
+    out.proxy.push_back(out.truth.back() + rng.Normal(0.0, proxy_noise));
+  }
+  out.true_mean = sum / n;
+  return out;
+}
+
+TEST(ControlVariateTest, EstimateIsCloseToTruth) {
+  const auto data = MakeCounts(20000, 0.3);
+  AggregationQuery query;
+  query.error_target = 0.05;
+  ASSERT_OK_AND_ASSIGN(
+      AggregationResult result,
+      ControlVariateEstimator::Run(query, data.truth.size(), data.proxy,
+                                   [&](int64_t f) { return data.truth[f]; }));
+  EXPECT_NEAR(result.estimate, data.true_mean, 0.1);
+  EXPECT_LE(result.ci_half_width, query.error_target * 1.05);
+}
+
+TEST(ControlVariateTest, GoodProxyNeedsFewerSamplesThanPlain) {
+  const auto data = MakeCounts(20000, 0.2);  // highly correlated proxy
+  AggregationQuery query;
+  query.error_target = 0.03;
+  ASSERT_OK_AND_ASSIGN(
+      AggregationResult cv,
+      ControlVariateEstimator::Run(query, data.truth.size(), data.proxy,
+                                   [&](int64_t f) { return data.truth[f]; }));
+  ASSERT_OK_AND_ASSIGN(
+      AggregationResult plain,
+      ControlVariateEstimator::RunPlain(
+          query, data.truth.size(),
+          [&](int64_t f) { return data.truth[f]; }));
+  EXPECT_LT(cv.target_invocations, plain.target_invocations);
+  EXPECT_GT(static_cast<double>(plain.target_invocations) /
+                static_cast<double>(cv.target_invocations),
+            2.0);
+}
+
+TEST(ControlVariateTest, BetterProxyFewerSamples) {
+  // The §8.4 effect: a more accurate specialized NN reduces residual
+  // variance and thus expensive-model invocations.
+  AggregationQuery query;
+  query.error_target = 0.03;
+  const auto good = MakeCounts(20000, 0.2, 11);
+  const auto bad = MakeCounts(20000, 1.5, 11);
+  ASSERT_OK_AND_ASSIGN(
+      AggregationResult with_good,
+      ControlVariateEstimator::Run(query, good.truth.size(), good.proxy,
+                                   [&](int64_t f) { return good.truth[f]; }));
+  ASSERT_OK_AND_ASSIGN(
+      AggregationResult with_bad,
+      ControlVariateEstimator::Run(query, bad.truth.size(), bad.proxy,
+                                   [&](int64_t f) { return bad.truth[f]; }));
+  EXPECT_LT(with_good.target_invocations, with_bad.target_invocations);
+}
+
+TEST(ControlVariateTest, TighterErrorNeedsMoreSamples) {
+  const auto data = MakeCounts(50000, 0.5);
+  auto run = [&](double err) {
+    AggregationQuery query;
+    query.error_target = err;
+    auto result = ControlVariateEstimator::Run(
+        query, data.truth.size(), data.proxy,
+        [&](int64_t f) { return data.truth[f]; });
+    return result.value().target_invocations;
+  };
+  const int64_t loose = run(0.05);
+  const int64_t tight = run(0.01);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(ControlVariateTest, EstimatorIsUnbiasedAcrossSeeds) {
+  const auto data = MakeCounts(10000, 0.5);
+  double sum = 0.0;
+  constexpr int kRuns = 10;
+  for (int s = 0; s < kRuns; ++s) {
+    AggregationQuery query;
+    query.error_target = 0.05;
+    query.seed = 100 + s;
+    ASSERT_OK_AND_ASSIGN(
+        AggregationResult result,
+        ControlVariateEstimator::Run(query, data.truth.size(), data.proxy,
+                                     [&](int64_t f) { return data.truth[f]; }));
+    sum += result.estimate;
+  }
+  EXPECT_NEAR(sum / kRuns, data.true_mean, 0.05);
+}
+
+TEST(ControlVariateTest, InvalidInputsRejected) {
+  AggregationQuery query;
+  EXPECT_FALSE(ControlVariateEstimator::Run(query, 10, {1.0, 2.0},
+                                            [](int64_t) { return 0.0; })
+                   .ok());  // size mismatch
+  query.error_target = -1.0;
+  std::vector<double> proxy(10, 0.0);
+  EXPECT_FALSE(ControlVariateEstimator::Run(query, 10, proxy,
+                                            [](int64_t) { return 0.0; })
+                   .ok());
+  EXPECT_FALSE(
+      ControlVariateEstimator::RunPlain(query, 0, [](int64_t) { return 0.0; })
+          .ok());
+}
+
+TEST(ControlVariateTest, ZScoreMonotone) {
+  EXPECT_LT(ControlVariateEstimator::ZScore(0.90),
+            ControlVariateEstimator::ZScore(0.95));
+  EXPECT_LT(ControlVariateEstimator::ZScore(0.95),
+            ControlVariateEstimator::ZScore(0.99));
+}
+
+}  // namespace
+}  // namespace smol

@@ -1,0 +1,226 @@
+// Tests for src/data: synthetic image generator determinism and class
+// separability, dataset materialization and stored-format variants,
+// synthetic video generation and ground-truth consistency.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/datasets.h"
+#include "src/data/synth_image.h"
+#include "src/data/synth_video.h"
+#include "tests/test_util.h"
+
+namespace smol {
+namespace {
+
+// --- Synthetic images -----------------------------------------------------------
+
+TEST(SynthImageTest, DeterministicGeneration) {
+  SynthImageOptions opts;
+  opts.num_classes = 5;
+  SynthImageGenerator gen(opts);
+  const Image a = gen.Generate(2, 7);
+  const Image b = gen.Generate(2, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SynthImageTest, DifferentSamplesDiffer) {
+  SynthImageGenerator gen({});
+  const Image a = gen.Generate(1, 0);
+  const Image b = gen.Generate(1, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SynthImageTest, ClassesAreVisuallyDistinct) {
+  // Mean pixel distance between classes should exceed within-class distance:
+  // a weak but meaningful separability check.
+  SynthImageOptions opts;
+  opts.num_classes = 4;
+  opts.noise = 5.0;
+  SynthImageGenerator gen(opts);
+  double within = 0, between = 0;
+  int within_n = 0, between_n = 0;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_OK_AND_ASSIGN(
+          double d, MeanAbsDiff(gen.Generate(c, i), gen.Generate(c, i + 10)));
+      within += d;
+      ++within_n;
+      ASSERT_OK_AND_ASSIGN(
+          double d2,
+          MeanAbsDiff(gen.Generate(c, i), gen.Generate((c + 1) % 4, i)));
+      between += d2;
+      ++between_n;
+    }
+  }
+  EXPECT_GT(between / between_n, within / within_n);
+}
+
+TEST(SynthImageTest, RespectsDimensions) {
+  SynthImageOptions opts;
+  opts.width = 33;
+  opts.height = 21;
+  SynthImageGenerator gen(opts);
+  const Image img = gen.Generate(0, 0);
+  EXPECT_EQ(img.width(), 33);
+  EXPECT_EQ(img.height(), 21);
+  EXPECT_EQ(img.channels(), 3);
+}
+
+// --- Image datasets ----------------------------------------------------------------
+
+TEST(DatasetTest, Table6DifficultyLadder) {
+  const auto& specs = ImageDatasetSpecs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "bike-bird");
+  EXPECT_EQ(specs[0].num_classes, 2);
+  EXPECT_EQ(specs[3].name, "imagenet");
+  // Class count and difficulty increase along the ladder.
+  for (size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GT(specs[i].num_classes, specs[i - 1].num_classes);
+    EXPECT_GE(specs[i].noise, specs[i - 1].noise);
+  }
+  EXPECT_TRUE(FindImageDataset("imagenet").ok());
+  EXPECT_FALSE(FindImageDataset("cifar").ok());
+}
+
+TEST(DatasetTest, GenerateHasBalancedLabels) {
+  ASSERT_OK_AND_ASSIGN(auto spec, FindImageDataset("bike-bird"));
+  spec.train_size = 100;
+  spec.test_size = 40;
+  ASSERT_OK_AND_ASSIGN(ImageDataset ds, ImageDataset::Generate(spec));
+  EXPECT_EQ(ds.train().size(), 100u);
+  EXPECT_EQ(ds.test().size(), 40u);
+  int counts[2] = {0, 0};
+  for (int label : ds.train().labels) counts[label]++;
+  EXPECT_EQ(counts[0], 50);
+  EXPECT_EQ(counts[1], 50);
+}
+
+TEST(DatasetTest, StoredFormatsRoundtrip) {
+  ASSERT_OK_AND_ASSIGN(auto spec, FindImageDataset("bike-bird"));
+  spec.test_size = 6;
+  spec.train_size = 2;
+  ASSERT_OK_AND_ASSIGN(ImageDataset ds, ImageDataset::Generate(spec));
+  for (StorageFormat fmt :
+       {StorageFormat::kFullSpng, StorageFormat::kFullSjpg,
+        StorageFormat::kThumbSpng, StorageFormat::kThumbSjpgQ95,
+        StorageFormat::kThumbSjpgQ75}) {
+    ASSERT_OK_AND_ASSIGN(auto stored, ds.EncodeTestSet(fmt));
+    ASSERT_EQ(stored.size(), 6u);
+    ASSERT_OK_AND_ASSIGN(Image decoded,
+                         ImageDataset::DecodeStored(stored[0], fmt));
+    if (IsThumbnail(fmt)) {
+      EXPECT_EQ(std::min(decoded.width(), decoded.height()), spec.thumb_size);
+    } else {
+      EXPECT_EQ(decoded.width(), spec.full_width);
+    }
+  }
+}
+
+TEST(DatasetTest, LosslessFormatPreservesPixels) {
+  ASSERT_OK_AND_ASSIGN(auto spec, FindImageDataset("animals-10"));
+  spec.test_size = 4;
+  spec.train_size = 2;
+  ASSERT_OK_AND_ASSIGN(ImageDataset ds, ImageDataset::Generate(spec));
+  ASSERT_OK_AND_ASSIGN(auto stored,
+                       ds.EncodeTestSet(StorageFormat::kFullSpng));
+  for (size_t i = 0; i < stored.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        Image decoded,
+        ImageDataset::DecodeStored(stored[i], StorageFormat::kFullSpng));
+    EXPECT_EQ(decoded, ds.test().images[i]);
+  }
+}
+
+TEST(DatasetTest, ThumbnailBytesAreSmaller) {
+  ASSERT_OK_AND_ASSIGN(auto spec, FindImageDataset("bike-bird"));
+  spec.test_size = 8;
+  spec.train_size = 2;
+  ASSERT_OK_AND_ASSIGN(ImageDataset ds, ImageDataset::Generate(spec));
+  ASSERT_OK_AND_ASSIGN(auto full, ds.EncodeTestSet(StorageFormat::kFullSpng));
+  ASSERT_OK_AND_ASSIGN(auto thumb,
+                       ds.EncodeTestSet(StorageFormat::kThumbSpng));
+  ASSERT_OK_AND_ASSIGN(auto thumb_lossy,
+                       ds.EncodeTestSet(StorageFormat::kThumbSjpgQ75));
+  size_t full_bytes = 0, thumb_bytes = 0, lossy_bytes = 0;
+  for (size_t i = 0; i < full.size(); ++i) {
+    full_bytes += full[i].bytes.size();
+    thumb_bytes += thumb[i].bytes.size();
+    lossy_bytes += thumb_lossy[i].bytes.size();
+  }
+  EXPECT_LT(thumb_bytes, full_bytes);
+  EXPECT_LT(lossy_bytes, thumb_bytes);
+}
+
+TEST(DatasetTest, TestSetViaFormatUpscalesThumbnails) {
+  ASSERT_OK_AND_ASSIGN(auto spec, FindImageDataset("bike-bird"));
+  spec.test_size = 4;
+  spec.train_size = 2;
+  ASSERT_OK_AND_ASSIGN(ImageDataset ds, ImageDataset::Generate(spec));
+  ASSERT_OK_AND_ASSIGN(auto via,
+                       ds.TestSetViaFormat(StorageFormat::kThumbSjpgQ75));
+  ASSERT_EQ(via.size(), 4u);
+  // Thumbnails come back at full resolution (the DNN's input contract).
+  EXPECT_EQ(via.images[0].width(), spec.full_width);
+  // Lossy roundtrip: similar but not identical to the original.
+  ASSERT_OK_AND_ASSIGN(double psnr, Psnr(via.images[0], ds.test().images[0]));
+  EXPECT_GT(psnr, 15.0);
+  EXPECT_LT(psnr, 60.0);
+}
+
+// --- Synthetic video ------------------------------------------------------------------
+
+TEST(SynthVideoTest, FourDatasetsWithTrafficOrdering) {
+  const auto& specs = VideoDatasetSpecs();
+  ASSERT_EQ(specs.size(), 4u);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_TRUE(names.count("night-street"));
+  EXPECT_TRUE(names.count("taipei"));
+  EXPECT_TRUE(names.count("amsterdam"));
+  EXPECT_TRUE(names.count("rialto"));
+  // night-street is the sparse scene.
+  ASSERT_OK_AND_ASSIGN(auto night, FindVideoDataset("night-street"));
+  ASSERT_OK_AND_ASSIGN(auto rialto, FindVideoDataset("rialto"));
+  EXPECT_LT(night.mean_objects, rialto.mean_objects);
+}
+
+TEST(SynthVideoTest, GenerationMatchesSpecAndGroundTruth) {
+  ASSERT_OK_AND_ASSIGN(auto spec, FindVideoDataset("amsterdam"));
+  spec.num_frames = 120;
+  ASSERT_OK_AND_ASSIGN(SyntheticVideo video, GenerateVideo(spec));
+  EXPECT_EQ(video.frames.size(), 120u);
+  EXPECT_EQ(video.object_counts.size(), 120u);
+  EXPECT_EQ(video.frames[0].width(), spec.width);
+  // Mean on-screen count is in the right ballpark of the configured traffic.
+  EXPECT_GT(video.MeanCount(), spec.mean_objects * 0.2);
+  EXPECT_LT(video.MeanCount(), spec.mean_objects * 3.0);
+}
+
+TEST(SynthVideoTest, DeterministicAcrossCalls) {
+  ASSERT_OK_AND_ASSIGN(auto spec, FindVideoDataset("taipei"));
+  spec.num_frames = 30;
+  ASSERT_OK_AND_ASSIGN(SyntheticVideo a, GenerateVideo(spec));
+  ASSERT_OK_AND_ASSIGN(SyntheticVideo b, GenerateVideo(spec));
+  EXPECT_EQ(a.object_counts, b.object_counts);
+  EXPECT_EQ(a.frames[29], b.frames[29]);
+}
+
+TEST(SynthVideoTest, BusyScenesHaveMoreObjects) {
+  ASSERT_OK_AND_ASSIGN(auto night, FindVideoDataset("night-street"));
+  ASSERT_OK_AND_ASSIGN(auto rialto, FindVideoDataset("rialto"));
+  night.num_frames = rialto.num_frames = 300;
+  ASSERT_OK_AND_ASSIGN(SyntheticVideo nv, GenerateVideo(night));
+  ASSERT_OK_AND_ASSIGN(SyntheticVideo rv, GenerateVideo(rialto));
+  EXPECT_LT(nv.MeanCount(), rv.MeanCount());
+}
+
+TEST(SynthVideoTest, RejectsBadSpec) {
+  VideoDatasetSpec bad;
+  bad.num_frames = 0;
+  EXPECT_FALSE(GenerateVideo(bad).ok());
+}
+
+}  // namespace
+}  // namespace smol

@@ -1,0 +1,401 @@
+// Tests for src/dnn: tensor, GEMM, layer forward/backward (gradient checks),
+// model construction, serialization roundtrip, and end-to-end learning on a
+// small synthetic task.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/synth_image.h"
+#include "src/dnn/gemm.h"
+#include "src/dnn/layers.h"
+#include "src/dnn/model.h"
+#include "src/dnn/tensor.h"
+#include "src/dnn/trainer.h"
+#include "tests/test_util.h"
+
+namespace smol {
+namespace {
+
+// --- Tensor -------------------------------------------------------------------
+
+TEST(TensorTest, ShapeAndAccess) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(t.ndim(), 4);
+  t.at4(1, 2, 3, 4) = 7.5f;
+  EXPECT_FLOAT_EQ(t.at4(1, 2, 3, 4), 7.5f);
+  EXPECT_FLOAT_EQ(t[119], 7.5f);
+}
+
+TEST(TensorTest, ReshapeChecksElementCount) {
+  Tensor t({4, 6});
+  EXPECT_TRUE(t.Reshape({2, 12}).ok());
+  EXPECT_FALSE(t.Reshape({5, 5}).ok());
+  EXPECT_EQ(t.dim(1), 12);
+}
+
+TEST(TensorTest, FillScaleAdd) {
+  Tensor a({4});
+  a.Fill(2.0f);
+  Tensor b({4});
+  b.Fill(3.0f);
+  a.Add(b, 2.0f);
+  for (size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 8.0f);
+  a.Scale(0.5f);
+  for (size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 4.0f);
+}
+
+// --- GEMM ---------------------------------------------------------------------
+
+TEST(GemmTest, MatchesNaiveReference) {
+  Rng rng(21);
+  const int m = 7, k = 5, n = 9;
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  Gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int p = 0; p < k; ++p) ref[i * n + j] += a[i * k + p] * b[p * n + j];
+    }
+  }
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+}
+
+TEST(GemmTest, TransposedVariantsAgree) {
+  Rng rng(22);
+  const int m = 4, k = 6, n = 3;
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& v : a) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  std::vector<float> c1(m * n), c2(m * n), c3(m * n);
+  Gemm(a.data(), b.data(), c1.data(), m, k, n);
+  // A^T stored as [k x m]: transpose a.
+  std::vector<float> at(k * m);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) at[p * m + i] = a[i * k + p];
+  }
+  GemmTransA(at.data(), b.data(), c2.data(), m, k, n);
+  // B^T stored as [n x k]: transpose b.
+  std::vector<float> bt(n * k);
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+  }
+  GemmTransB(a.data(), bt.data(), c3.data(), m, k, n);
+  for (int i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-4f);
+    EXPECT_NEAR(c1[i], c3[i], 1e-4f);
+  }
+}
+
+TEST(GemmTest, AccumulateAddsToExisting) {
+  std::vector<float> a = {1, 2};
+  std::vector<float> b = {3, 4};
+  std::vector<float> c = {10};
+  Gemm(a.data(), b.data(), c.data(), 1, 2, 1, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c[0], 10 + 3 + 8);
+}
+
+// --- Gradient checks -----------------------------------------------------------
+//
+// Numeric gradient checking validates every layer's backward pass: perturb
+// one input element, compare the finite difference of a scalar loss against
+// the analytic gradient.
+
+double ScalarLoss(const Tensor& t) {
+  // sum of 0.5 * x^2 -> gradient = x.
+  double loss = 0.0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    loss += 0.5 * static_cast<double>(t[i]) * t[i];
+  }
+  return loss;
+}
+
+Tensor LossGrad(const Tensor& t) {
+  Tensor g(t.shape());
+  for (size_t i = 0; i < t.size(); ++i) g[i] = t[i];
+  return g;
+}
+
+void CheckLayerGradients(Layer* layer, const Tensor& input,
+                         double tolerance = 2e-2) {
+  // Analytic gradient.
+  auto out = layer->Forward(input, /*training=*/true);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto grad_in = layer->Backward(LossGrad(out.value()));
+  ASSERT_TRUE(grad_in.ok()) << grad_in.status().ToString();
+  // Numeric gradient on a sample of elements (full check is O(n^2)).
+  Rng rng(5);
+  const double eps = 1e-2;
+  const int checks = std::min<size_t>(12, input.size());
+  for (int c = 0; c < checks; ++c) {
+    const size_t i = rng.Uniform(input.size());
+    Tensor plus = input;
+    plus[i] += static_cast<float>(eps);
+    Tensor minus = input;
+    minus[i] -= static_cast<float>(eps);
+    auto out_p = layer->Forward(plus, true);
+    ASSERT_TRUE(out_p.ok());
+    const double loss_p = ScalarLoss(out_p.value());
+    auto out_m = layer->Forward(minus, true);
+    ASSERT_TRUE(out_m.ok());
+    const double loss_m = ScalarLoss(out_m.value());
+    const double numeric = (loss_p - loss_m) / (2 * eps);
+    // Re-run forward at the original point so the cache matches.
+    ASSERT_TRUE(layer->Forward(input, true).ok());
+    auto grad2 = layer->Backward(LossGrad(out.value()));
+    ASSERT_TRUE(grad2.ok());
+    const double analytic = grad2.value()[i];
+    const double scale = std::max({1.0, std::abs(numeric), std::abs(analytic)});
+    EXPECT_NEAR(numeric, analytic, tolerance * scale)
+        << "element " << i;
+  }
+}
+
+Tensor RandomInput(std::vector<int> shape, uint64_t seed = 3) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(GradCheckTest, Conv2d) {
+  Rng rng(1);
+  Conv2d conv(2, 3, 3, 1, 1, &rng);
+  CheckLayerGradients(&conv, RandomInput({2, 2, 6, 6}));
+}
+
+TEST(GradCheckTest, Conv2dStride2) {
+  Rng rng(2);
+  Conv2d conv(2, 2, 3, 2, 1, &rng);
+  CheckLayerGradients(&conv, RandomInput({1, 2, 8, 8}));
+}
+
+TEST(GradCheckTest, Relu) {
+  Relu relu;
+  CheckLayerGradients(&relu, RandomInput({2, 3, 4, 4}));
+}
+
+TEST(GradCheckTest, MaxPool) {
+  MaxPool2d pool;
+  CheckLayerGradients(&pool, RandomInput({1, 2, 6, 6}));
+}
+
+TEST(GradCheckTest, GlobalAvgPool) {
+  GlobalAvgPool pool;
+  CheckLayerGradients(&pool, RandomInput({2, 3, 4, 4}));
+}
+
+TEST(GradCheckTest, Linear) {
+  Rng rng(3);
+  Linear linear(6, 4, &rng);
+  CheckLayerGradients(&linear, RandomInput({3, 6}));
+}
+
+// Residual blocks contain two BatchNorms whose batch-coupled statistics give
+// the loss noticeable curvature, so finite differences carry ~10% second-
+// order error; the tolerance is loose enough for that but far below the
+// ~100% error a missing gradient term would produce.
+TEST(GradCheckTest, ResidualBlockIdentity) {
+  Rng rng(4);
+  ResidualBlock block(3, 3, 1, &rng);
+  CheckLayerGradients(&block, RandomInput({2, 3, 6, 6}), 0.15);
+}
+
+TEST(GradCheckTest, ResidualBlockProjection) {
+  Rng rng(5);
+  ResidualBlock block(2, 4, 2, &rng);
+  CheckLayerGradients(&block, RandomInput({2, 2, 8, 8}), 0.15);
+}
+
+// BatchNorm gradients interact across the batch; check with a direct loss.
+TEST(GradCheckTest, BatchNorm) {
+  BatchNorm2d bn(2);
+  CheckLayerGradients(&bn, RandomInput({3, 2, 4, 4}), 5e-2);
+}
+
+// --- Loss -----------------------------------------------------------------------
+
+TEST(SoftmaxTest, ProbabilitiesSumToOne) {
+  Tensor logits({2, 5});
+  Rng rng(6);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    logits[i] = static_cast<float>(rng.UniformDouble(-5, 5));
+  }
+  ASSERT_OK_AND_ASSIGN(Tensor probs,
+                       SoftmaxCrossEntropy::Probabilities(logits));
+  for (int n = 0; n < 2; ++n) {
+    double sum = 0;
+    for (int c = 0; c < 5; ++c) sum += probs[n * 5 + c];
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, LossGradientMatchesFiniteDifference) {
+  Tensor logits({2, 4});
+  Rng rng(7);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    logits[i] = static_cast<float>(rng.UniformDouble(-2, 2));
+  }
+  const std::vector<int> labels = {1, 3};
+  Tensor grad;
+  ASSERT_OK_AND_ASSIGN(double loss,
+                       SoftmaxCrossEntropy::Compute(logits, labels, &grad));
+  EXPECT_GT(loss, 0.0);
+  const double eps = 1e-3;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    Tensor plus = logits;
+    plus[i] += static_cast<float>(eps);
+    ASSERT_OK_AND_ASSIGN(double loss_p,
+                         SoftmaxCrossEntropy::Compute(plus, labels, nullptr));
+    const double numeric = (loss_p - loss) / eps;
+    EXPECT_NEAR(numeric, grad[i], 1e-2) << i;
+  }
+}
+
+TEST(SoftmaxTest, BadLabelsRejected) {
+  Tensor logits({1, 3});
+  EXPECT_FALSE(SoftmaxCrossEntropy::Compute(logits, {5}, nullptr).ok());
+  EXPECT_FALSE(SoftmaxCrossEntropy::Compute(logits, {-1}, nullptr).ok());
+  EXPECT_FALSE(SoftmaxCrossEntropy::Compute(logits, {0, 1}, nullptr).ok());
+}
+
+// --- Model ladder -----------------------------------------------------------------
+
+TEST(ModelTest, LadderIsMonotoneInCapacity) {
+  std::vector<int64_t> macs;
+  std::vector<int64_t> params;
+  for (const char* name : {"smolnet18", "smolnet34", "smolnet50"}) {
+    ASSERT_OK_AND_ASSIGN(SmolNetSpec spec, GetSmolNetSpec(name, 10));
+    ASSERT_OK_AND_ASSIGN(auto model, BuildSmolNet(spec));
+    ASSERT_OK_AND_ASSIGN(int64_t m, model->MacsPerSample(3, 32, 32));
+    macs.push_back(m);
+    params.push_back(model->NumParams());
+  }
+  // Deeper entries cost more — the Table 2 capacity/throughput trade-off.
+  EXPECT_LT(macs[0], macs[1]);
+  EXPECT_LT(macs[1], macs[2]);
+  EXPECT_LT(params[0], params[1]);
+  EXPECT_LT(params[1], params[2]);
+}
+
+TEST(ModelTest, ForwardShape) {
+  ASSERT_OK_AND_ASSIGN(SmolNetSpec spec, GetSmolNetSpec("smolnet18", 7));
+  ASSERT_OK_AND_ASSIGN(auto model, BuildSmolNet(spec));
+  Tensor input = RandomInput({2, 3, 32, 32});
+  ASSERT_OK_AND_ASSIGN(Tensor out, model->Forward(input));
+  EXPECT_EQ(out.shape(), (std::vector<int>{2, 7}));
+}
+
+TEST(ModelTest, UnknownArchRejected) {
+  EXPECT_FALSE(GetSmolNetSpec("resnet9000", 10).ok());
+}
+
+TEST(ModelTest, SerializationRoundtripPreservesOutputs) {
+  ASSERT_OK_AND_ASSIGN(SmolNetSpec spec, GetSmolNetSpec("smolnet18", 5));
+  ASSERT_OK_AND_ASSIGN(auto model, BuildSmolNet(spec, /*seed=*/9));
+  Tensor input = RandomInput({3, 3, 32, 32}, 11);
+  ASSERT_OK_AND_ASSIGN(Tensor before, model->Forward(input));
+  ASSERT_OK_AND_ASSIGN(auto bytes, SaveModel(model.get()));
+  ASSERT_OK_AND_ASSIGN(auto restored, LoadModel(bytes));
+  EXPECT_EQ(restored->name(), "smolnet18");
+  ASSERT_OK_AND_ASSIGN(Tensor after, restored->Forward(input));
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-5f) << i;
+  }
+}
+
+TEST(ModelTest, CorruptModelRejected) {
+  ASSERT_OK_AND_ASSIGN(SmolNetSpec spec, GetSmolNetSpec("smolnet18", 5));
+  ASSERT_OK_AND_ASSIGN(auto model, BuildSmolNet(spec));
+  ASSERT_OK_AND_ASSIGN(auto bytes, SaveModel(model.get()));
+  auto bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(LoadModel(bad).ok());
+  std::vector<uint8_t> truncated(bytes.begin(),
+                                 bytes.begin() + bytes.size() / 2);
+  EXPECT_FALSE(LoadModel(truncated).ok());
+}
+
+// --- Image/tensor bridge -------------------------------------------------------------
+
+TEST(TrainerTest, ImagesToTensorNormalizes) {
+  Image img(2, 2, 3);
+  img.at(0, 0, 0) = 255;  // red channel max
+  Normalization norm;
+  ASSERT_OK_AND_ASSIGN(Tensor t, ImagesToTensor({&img}, norm));
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, 3, 2, 2}));
+  EXPECT_NEAR(t.at4(0, 0, 0, 0), (1.0f - norm.mean[0]) / norm.std[0], 1e-5);
+  EXPECT_NEAR(t.at4(0, 1, 0, 0), (0.0f - norm.mean[1]) / norm.std[1], 1e-5);
+}
+
+TEST(TrainerTest, ImagesToTensorRejectsMixedShapes) {
+  Image a(4, 4, 3), b(5, 4, 3);
+  EXPECT_FALSE(ImagesToTensor({&a, &b}, {}).ok());
+  EXPECT_FALSE(ImagesToTensor({}, {}).ok());
+}
+
+TEST(TrainerTest, ResizeBilinearIdentityAndScale) {
+  const Image img = smol::testing::MakeTestImage(16, 16, 3);
+  const Image same = ResizeBilinear(img, 16, 16);
+  EXPECT_EQ(same, img);
+  const Image half = ResizeBilinear(img, 8, 8);
+  EXPECT_EQ(half.width(), 8);
+  const Image back = ResizeBilinear(half, 16, 16);
+  // Down-up roundtrip loses detail but stays correlated.
+  ASSERT_OK_AND_ASSIGN(double mad, MeanAbsDiff(img, back));
+  EXPECT_LT(mad, 40.0);
+}
+
+// --- End-to-end learning ----------------------------------------------------------
+//
+// The substantive test: a SmolNet actually learns a synthetic classification
+// task far above chance within seconds of CPU training.
+
+TEST(TrainingTest, LearnsSyntheticTask) {
+  SynthImageOptions gen_opts;
+  gen_opts.width = 32;
+  gen_opts.height = 32;
+  gen_opts.num_classes = 4;
+  gen_opts.noise = 8.0;
+  gen_opts.seed = 77;
+  SynthImageGenerator gen(gen_opts);
+  LabeledImages train, val;
+  train.num_classes = val.num_classes = 4;
+  for (int i = 0; i < 240; ++i) {
+    train.images.push_back(gen.Generate(i % 4, i));
+    train.labels.push_back(i % 4);
+  }
+  for (int i = 0; i < 80; ++i) {
+    val.images.push_back(gen.Generate(i % 4, 10000 + i));
+    val.labels.push_back(i % 4);
+  }
+  ASSERT_OK_AND_ASSIGN(SmolNetSpec spec, GetSmolNetSpec("smolnet18", 4));
+  ASSERT_OK_AND_ASSIGN(auto model, BuildSmolNet(spec, 31));
+  TrainOptions opts;
+  opts.epochs = 6;
+  opts.batch_size = 32;
+  opts.learning_rate = 0.05;
+  ASSERT_OK_AND_ASSIGN(TrainStats stats,
+                       TrainModel(model.get(), train, val, opts));
+  // Loss decreases and accuracy beats chance (0.25) decisively.
+  EXPECT_LT(stats.epoch_losses.back(), stats.epoch_losses.front());
+  EXPECT_GT(stats.final_val_accuracy, 0.55)
+      << "losses: " << stats.epoch_losses.front() << " -> "
+      << stats.epoch_losses.back();
+}
+
+TEST(TrainingTest, RejectsBadInputs) {
+  ASSERT_OK_AND_ASSIGN(SmolNetSpec spec, GetSmolNetSpec("smolnet18", 2));
+  ASSERT_OK_AND_ASSIGN(auto model, BuildSmolNet(spec));
+  LabeledImages empty;
+  EXPECT_FALSE(TrainModel(model.get(), empty, empty, {}).ok());
+  EXPECT_FALSE(TrainModel(nullptr, empty, empty, {}).ok());
+  EXPECT_FALSE(EvaluateModel(model.get(), empty).ok());
+}
+
+}  // namespace
+}  // namespace smol

@@ -1,0 +1,97 @@
+// Tests for the §3.1 training orchestrator: plan-space coverage, the 30%
+// fine-tuning overhead budget, and that fine-tuned variants really improve
+// low-resolution accuracy.
+#include <gtest/gtest.h>
+
+#include "src/core/training_orchestrator.h"
+#include "src/data/datasets.h"
+#include "tests/test_util.h"
+
+namespace smol {
+namespace {
+
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = FindImageDataset("bike-bird").MoveValue();
+    spec.train_size = 160;
+    spec.test_size = 80;
+    auto ds = ImageDataset::Generate(spec);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<ImageDataset>(std::move(ds).MoveValue());
+  }
+  std::unique_ptr<ImageDataset> dataset_;
+};
+
+TEST_F(OrchestratorTest, CoversArchByResolutionCrossProduct) {
+  TrainingOrchestrator::Options opts;
+  opts.architectures = {"smolnet18"};
+  opts.base_epochs = 2;
+  opts.lowres_target = dataset_->spec().thumb_size;
+  ASSERT_OK_AND_ASSIGN(
+      TrainedPlanSpace space,
+      TrainingOrchestrator::Train(dataset_->train(), dataset_->test(), opts));
+  EXPECT_EQ(space.models.size(), 2u);  // full + lowres
+  EXPECT_NE(space.Find("smolnet18", /*lowres=*/false), nullptr);
+  EXPECT_NE(space.Find("smolnet18", /*lowres=*/true), nullptr);
+  EXPECT_EQ(space.Find("smolnet50", false), nullptr);
+}
+
+TEST_F(OrchestratorTest, RespectsOverheadBudget) {
+  TrainingOrchestrator::Options opts;
+  opts.architectures = {"smolnet18"};
+  opts.base_epochs = 4;
+  opts.finetune_budget = 0.3;
+  opts.lowres_target = dataset_->spec().thumb_size;
+  ASSERT_OK_AND_ASSIGN(
+      TrainedPlanSpace space,
+      TrainingOrchestrator::Train(dataset_->train(), dataset_->test(), opts));
+  // Paper: fine-tuning adds at most ~30% of training cost.
+  EXPECT_LE(space.OverheadFraction(), 0.31);
+  EXPECT_GT(space.finetune_epochs, 0);
+}
+
+TEST_F(OrchestratorTest, ZeroBudgetSkipsFineTuning) {
+  TrainingOrchestrator::Options opts;
+  opts.architectures = {"smolnet18"};
+  opts.base_epochs = 2;
+  opts.finetune_budget = 0.0;
+  ASSERT_OK_AND_ASSIGN(
+      TrainedPlanSpace space,
+      TrainingOrchestrator::Train(dataset_->train(), dataset_->test(), opts));
+  EXPECT_EQ(space.finetune_epochs, 0);
+  EXPECT_EQ(space.Find("smolnet18", true), nullptr);
+  EXPECT_NE(space.Find("smolnet18", false), nullptr);
+}
+
+TEST_F(OrchestratorTest, FineTunedVariantHelpsOnThumbnails) {
+  TrainingOrchestrator::Options opts;
+  opts.architectures = {"smolnet18"};
+  opts.base_epochs = 4;
+  opts.finetune_budget = 0.5;  // a bit more budget for a small test set
+  opts.lowres_target = dataset_->spec().thumb_size;
+  ASSERT_OK_AND_ASSIGN(
+      TrainedPlanSpace space,
+      TrainingOrchestrator::Train(dataset_->train(), dataset_->test(), opts));
+  ASSERT_OK_AND_ASSIGN(auto thumbs,
+                       dataset_->TestSetViaFormat(StorageFormat::kThumbSpng));
+  ASSERT_OK_AND_ASSIGN(
+      double base_acc,
+      EvaluateModel(space.Find("smolnet18", false), thumbs));
+  ASSERT_OK_AND_ASSIGN(
+      double ft_acc, EvaluateModel(space.Find("smolnet18", true), thumbs));
+  // Fine-tuning must not hurt thumbnail accuracy (it usually helps; exact
+  // gains vary at this tiny scale).
+  EXPECT_GE(ft_acc, base_acc - 0.05);
+}
+
+TEST(OrchestratorValidationTest, RejectsBadInputs) {
+  LabeledImages empty;
+  TrainingOrchestrator::Options opts;
+  EXPECT_FALSE(TrainingOrchestrator::Train(empty, empty, opts).ok());
+  opts.architectures.clear();
+  EXPECT_FALSE(TrainingOrchestrator::Train(empty, empty, opts).ok());
+}
+
+}  // namespace
+}  // namespace smol

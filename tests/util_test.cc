@@ -1,0 +1,359 @@
+// Unit and property tests for src/util: Status/Result, MPMC queue, thread
+// pool, buffer pool, RNG, stopwatch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/util/buffer_pool.h"
+#include "src/util/logging.h"
+#include "src/util/macros.h"
+#include "src/util/mpmc_queue.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace smol {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualityWorks) {
+  Status a = Status::Corruption("bitstream");
+  Status b = a;  // shared state
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "bitstream");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseParsePositive(int v, int* out) {
+  SMOL_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.ValueOr(-1), 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_OK(UseParsePositive(3, &out));
+  EXPECT_EQ(out, 3);
+  Status s = UseParsePositive(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).MoveValue();
+  EXPECT_EQ(*p, 9);
+}
+
+// --- MpmcQueue ----------------------------------------------------------------
+
+TEST(MpmcQueueTest, FifoSingleThread) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(MpmcQueueTest, TryPushRespectsCapacity) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(MpmcQueueTest, CloseDrainsThenEnds) {
+  MpmcQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  MpmcQueue<int> q(64);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.Pop()) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        const bool inserted = seen.insert(*item).second;
+        ASSERT_TRUE(inserted) << "duplicate item " << *item;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(MpmcQueueTest, BlockedConsumersWakeOnClose) {
+  MpmcQueue<int> q(4);
+  std::thread consumer([&] {
+    auto item = q.Pop();
+    EXPECT_FALSE(item.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+}
+
+// --- ThreadPool -----------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter++; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(pool.tasks_executed(), 50u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i]++; });
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls++;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+// --- BufferPool ------------------------------------------------------------------
+
+TEST(BufferPoolTest, ReusesReturnedBuffers) {
+  BufferPool pool;
+  auto b1 = pool.Get(1000);
+  const uint8_t* ptr = b1->data.data();
+  pool.Put(std::move(b1));
+  auto b2 = pool.Get(900);  // same bucket (4 KiB)
+  EXPECT_EQ(b2->data.data(), ptr);
+  EXPECT_EQ(b2->reuse_count, 1u);
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.reuses, 1u);
+}
+
+TEST(BufferPoolTest, DisabledReuseAlwaysAllocates) {
+  BufferPool::Options opts;
+  opts.enable_reuse = false;
+  BufferPool pool(opts);
+  auto b1 = pool.Get(1000);
+  pool.Put(std::move(b1));
+  auto b2 = pool.Get(1000);
+  EXPECT_EQ(b2->reuse_count, 0u);
+  EXPECT_EQ(pool.stats().allocations, 2u);
+  EXPECT_EQ(pool.stats().reuses, 0u);
+}
+
+TEST(BufferPoolTest, PinFlagFollowsOptions) {
+  BufferPool::Options opts;
+  opts.pin_buffers = false;
+  BufferPool pool(opts);
+  EXPECT_FALSE(pool.Get(16)->pinned);
+  BufferPool pinned_pool;
+  EXPECT_TRUE(pinned_pool.Get(16)->pinned);
+}
+
+TEST(BufferPoolTest, SizesAreExact) {
+  BufferPool pool;
+  for (size_t size : {1u, 100u, 4096u, 4097u, 1000000u}) {
+    auto b = pool.Get(size);
+    EXPECT_EQ(b->data.size(), size);
+    pool.Put(std::move(b));
+  }
+}
+
+TEST(BufferPoolTest, DifferentBucketsDoNotCrossReuse) {
+  BufferPool pool;
+  auto small = pool.Get(100);
+  pool.Put(std::move(small));
+  auto large = pool.Get(100000);
+  EXPECT_EQ(large->reuse_count, 0u);  // not served from the small bucket
+}
+
+// --- Rng ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalHasRoughlyCorrectMoments) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+// --- Stopwatch / BusyWork ------------------------------------------------------------
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  BusyWorkMicros(2000);
+  const double us = sw.ElapsedMicros();
+  EXPECT_GT(us, 500.0);  // loose lower bound; CI machines vary
+}
+
+TEST(BusyWorkTest, ScalesRoughlyLinearly) {
+  BusyWorkCalibration();  // warm up calibration
+  Stopwatch sw;
+  BusyWorkMicros(1000);
+  const double t1 = sw.ElapsedMicros();
+  sw.Restart();
+  BusyWorkMicros(8000);
+  const double t8 = sw.ElapsedMicros();
+  EXPECT_GT(t8, t1 * 3.0);  // very loose: 8x work should take >3x time
+}
+
+// --- Logging ---------------------------------------------------------------------------
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SMOL_LOG(kInfo) << "should be suppressed";
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace smol
