@@ -3,6 +3,8 @@
 // ablation knobs DESIGN.md calls out, measured in isolation.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "src/codec/dct.h"
 #include "src/codec/sjpg.h"
 #include "src/codec/spng.h"

@@ -9,6 +9,7 @@
 // against the measurement. The claim under test: Smol's min model matches or
 // ties the best estimate in every regime, and its average error is far below
 // the alternatives (§8.2: 5.9% vs 217% / 23%).
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <thread>

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure -> build -> ctest, in one command.
+#
+#   ci/check.sh                 # plain build + all suites
+#   ci/check.sh --sanitize      # ASan/UBSan build (util + codec suites)
+#   ci/check.sh -L unit         # remaining args are passed to ctest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+BUILD_DIR=build
+CMAKE_ARGS=()
+CTEST_ARGS=(--output-on-failure -j "${JOBS}")
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  shift
+  BUILD_DIR=build-asan
+  CMAKE_ARGS+=(-DSMOL_SANITIZE=ON -DSMOL_BUILD_BENCH=OFF -DSMOL_BUILD_EXAMPLES=OFF)
+  # The sanitizer gate covers the util and codec suites (the layers with raw
+  # byte/bit manipulation); widen as more suites are made sanitizer-clean.
+  CTEST_ARGS+=(-R 'util_test|codec_test')
+fi
+
+CTEST_ARGS+=("$@")
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+(cd "${BUILD_DIR}" && ctest "${CTEST_ARGS[@]}")

@@ -124,7 +124,9 @@ void DeblockPlane(std::vector<uint8_t>& plane, int w, int h, int block,
     if (std::abs(p0 - q0) >= alpha) return;
     if (std::abs(p1 - p0) >= beta || std::abs(q1 - q0) >= beta) return;
     const int c = beta;
-    int delta = (((q0 - p0) << 2) + (p1 - q1) + 4) >> 3;
+    // (q0 - p0) can be negative; multiply instead of shifting (UB on
+    // negative values) — same result for the value range here.
+    int delta = ((q0 - p0) * 4 + (p1 - q1) + 4) >> 3;
     delta = Clamp(delta, -c, c);
     plane[p0i] = static_cast<uint8_t>(Clamp(p0 + delta, 0, 255));
     plane[q0i] = static_cast<uint8_t>(Clamp(q0 - delta, 0, 255));
