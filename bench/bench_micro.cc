@@ -12,6 +12,7 @@
 #include "src/dnn/gemm.h"
 #include "src/preproc/fused.h"
 #include "src/preproc/ops.h"
+#include "src/util/cpu_features.h"
 #include "src/util/mpmc_queue.h"
 #include "src/util/rng.h"
 
@@ -134,6 +135,35 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+
+// Forced-scalar twins of the dispatched kernels, so one bench run shows the
+// SIMD-vs-scalar delta on this host (also reachable via SMOL_SIMD=scalar).
+void BM_GemmScalar(benchmark::State& state) {
+  ScopedSimdLevelCap cap(SimdLevel::kScalar);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  Rng rng(4);
+  for (auto& v : a) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  for (auto _ : state) {
+    Gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmScalar)->Arg(128);
+
+void BM_ResizeBilinearScalar(benchmark::State& state) {
+  ScopedSimdLevelCap cap(SimdLevel::kScalar);
+  const Image img = BenchImage(256);
+  const int target = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto out = ResizeExact(img, target, target);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResizeBilinearScalar)->Arg(224);
 
 void BM_MpmcQueueThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure -> build -> ctest, in one command.
 #
-#   ci/check.sh                 # plain build + all suites
-#   ci/check.sh --sanitize      # ASan/UBSan build (util + codec suites)
-#   ci/check.sh -L unit         # remaining args are passed to ctest
+#   ci/check.sh                        # plain build + all suites
+#   ci/check.sh --sanitize             # ASan/UBSan build, every suite
+#   ci/check.sh --bench-smoke [out]    # bench_micro smoke run -> JSON snapshot
+#                                      #   (default out: BENCH_pr2.json)
+#   ci/check.sh -L unit                # remaining args are passed to ctest
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,14 +15,29 @@ BUILD_DIR=build
 CMAKE_ARGS=()
 CTEST_ARGS=(--output-on-failure -j "${JOBS}")
 
-if [[ "${1:-}" == "--sanitize" ]]; then
-  shift
-  BUILD_DIR=build-asan
-  CMAKE_ARGS+=(-DSMOL_SANITIZE=ON -DSMOL_BUILD_BENCH=OFF -DSMOL_BUILD_EXAMPLES=OFF)
-  # The sanitizer gate covers the util and codec suites (the layers with raw
-  # byte/bit manipulation); widen as more suites are made sanitizer-clean.
-  CTEST_ARGS+=(-R 'util_test|codec_test')
-fi
+case "${1:-}" in
+  --sanitize)
+    shift
+    BUILD_DIR=build-asan
+    # Sanitizer runs cover every suite; tests/CMakeLists.txt scales the
+    # per-suite timeouts by SMOL_TEST_TIMEOUT_FACTOR to absorb ASan overhead.
+    CMAKE_ARGS+=(-DSMOL_SANITIZE=ON -DSMOL_BUILD_BENCH=OFF
+                 -DSMOL_BUILD_EXAMPLES=OFF)
+    ;;
+  --bench-smoke)
+    shift
+    OUT="${1:-BENCH_pr2.json}"
+    [[ $# -gt 0 ]] && shift
+    cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro
+    "${BUILD_DIR}/bench/bench_micro" \
+      --benchmark_min_time=0.1 \
+      --benchmark_out="${OUT}" \
+      --benchmark_out_format=json
+    echo "bench smoke snapshot written to ${OUT}"
+    exit 0
+    ;;
+esac
 
 CTEST_ARGS+=("$@")
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/simd.h"
+
 namespace smol {
 
 const int kZigZag[64] = {
@@ -12,24 +14,98 @@ const int kZigZag[64] = {
 
 namespace {
 
-// Precomputed cosine basis: kCos[u][x] = cos((2x+1) u pi / 16) * scale(u).
+// Precomputed cosine basis: c[u][x] = cos((2x+1) u pi / 16) * scale(u), plus
+// the transpose ct[x][u] = c[u][x] so the vector paths can accumulate whole
+// rows with broadcast-FMA.
 struct DctBasis {
-  float c[8][8];
+  alignas(32) float c[8][8];
+  alignas(32) float ct[8][8];
   DctBasis() {
     for (int u = 0; u < 8; ++u) {
       const double scale = (u == 0) ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
       for (int x = 0; x < 8; ++x) {
         c[u][x] = static_cast<float>(
             scale * std::cos((2.0 * x + 1.0) * u * 3.14159265358979323846 / 16.0));
+        ct[x][u] = c[u][x];
       }
     }
   }
 };
 const DctBasis kBasis;
 
+#if SMOL_SIMD_X86
+
+// Each 8-float row is one ymm; both passes are 8 broadcast-FMAs per output
+// row (OUT = C * (IN * C^T) expressed row-wise).
+SMOL_TARGET_AVX2 void ForwardDct8x8Avx2(const int16_t in[64], float out[64]) {
+  alignas(32) float fin[64];
+  for (int y = 0; y < 8; ++y) {
+    _mm256_store_ps(fin + y * 8,
+                    _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(in + y * 8)))));
+  }
+  alignas(32) float tmp[64];
+  for (int y = 0; y < 8; ++y) {
+    __m256 acc = _mm256_setzero_ps();
+    for (int x = 0; x < 8; ++x) {
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(fin + y * 8 + x),
+                            _mm256_load_ps(kBasis.ct[x]), acc);
+    }
+    _mm256_store_ps(tmp + y * 8, acc);
+  }
+  for (int v = 0; v < 8; ++v) {
+    __m256 acc = _mm256_setzero_ps();
+    for (int y = 0; y < 8; ++y) {
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(&kBasis.c[v][y]),
+                            _mm256_load_ps(tmp + y * 8), acc);
+    }
+    _mm256_storeu_ps(out + v * 8, acc);
+  }
+}
+
+SMOL_TARGET_AVX2 void InverseDct8x8Avx2(const float in[64], int16_t out[64]) {
+  alignas(32) float tmp[64];
+  for (int v = 0; v < 8; ++v) {
+    __m256 acc = _mm256_setzero_ps();
+    for (int u = 0; u < 8; ++u) {
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(in + v * 8 + u),
+                            _mm256_load_ps(kBasis.c[u]), acc);
+    }
+    _mm256_store_ps(tmp + v * 8, acc);
+  }
+  const __m256 hi = _mm256_set1_ps(255.0f);
+  const __m256 lo = _mm256_set1_ps(-256.0f);
+  for (int y = 0; y < 8; ++y) {
+    __m256 acc = _mm256_setzero_ps();
+    for (int v = 0; v < 8; ++v) {
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(&kBasis.ct[y][v]),
+                            _mm256_load_ps(tmp + v * 8), acc);
+    }
+    acc = _mm256_max_ps(_mm256_min_ps(acc, hi), lo);
+    // Round half away from zero to match std::lround.
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 sign_half =
+        _mm256_or_ps(_mm256_and_ps(acc, _mm256_set1_ps(-0.0f)), half);
+    const __m256i iv = _mm256_cvttps_epi32(_mm256_add_ps(acc, sign_half));
+    const __m256i i16 = _mm256_packs_epi32(iv, iv);
+    const __m256i ordered =
+        _mm256_permute4x64_epi64(i16, _MM_SHUFFLE(3, 1, 2, 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + y * 8),
+                     _mm256_castsi256_si128(ordered));
+  }
+}
+
+#endif  // SMOL_SIMD_X86
+
 }  // namespace
 
 void ForwardDct8x8(const int16_t in[64], float out[64]) {
+#if SMOL_SIMD_X86
+  if (simd::Avx2()) {
+    ForwardDct8x8Avx2(in, out);
+    return;
+  }
+#endif
   // Separable: rows then columns.
   float tmp[64];
   for (int y = 0; y < 8; ++y) {
@@ -53,6 +129,12 @@ void ForwardDct8x8(const int16_t in[64], float out[64]) {
 }
 
 void InverseDct8x8(const float in[64], int16_t out[64]) {
+#if SMOL_SIMD_X86
+  if (simd::Avx2()) {
+    InverseDct8x8Avx2(in, out);
+    return;
+  }
+#endif
   float tmp[64];
   for (int v = 0; v < 8; ++v) {
     for (int x = 0; x < 8; ++x) {

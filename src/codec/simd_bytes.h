@@ -1,0 +1,91 @@
+// Internal pshufb mask builders for interleaved-RGB <-> planar byte shuffles,
+// shared by the vectorized color conversion (codec/color.cc) and the fused
+// preprocessing tail (preproc/fused.cc). x86-only; include after simd.h and
+// keep all uses behind SMOL_SIMD_X86.
+#ifndef SMOL_CODEC_SIMD_BYTES_H_
+#define SMOL_CODEC_SIMD_BYTES_H_
+
+#include <cstdint>
+
+#include "src/util/simd.h"
+
+#if SMOL_SIMD_X86
+
+namespace smol::simd_bytes {
+
+/// pshufb masks selecting one byte stream out of three 16-byte chunks.
+struct Masks3 {
+  __m128i m0, m1, m2;
+};
+
+inline Masks3 Load3(const int8_t m0[16], const int8_t m1[16],
+                    const int8_t m2[16]) {
+  Masks3 m;
+  m.m0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(m0));
+  m.m1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(m1));
+  m.m2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(m2));
+  return m;
+}
+
+/// Masks that gather channel \p ch (0..2) of 16 interleaved RGB pixels
+/// (48 source bytes as chunks l0/l1/l2) into one u8x16.
+inline Masks3 RgbDeinterleaveMasks(int ch) {
+  alignas(16) int8_t m0[16], m1[16], m2[16];
+  for (int i = 0; i < 16; ++i) m0[i] = m1[i] = m2[i] = -1;
+  for (int i = 0; i < 16; ++i) {
+    const int byte = 3 * i + ch;
+    if (byte < 16) {
+      m0[i] = static_cast<int8_t>(byte);
+    } else if (byte < 32) {
+      m1[i] = static_cast<int8_t>(byte - 16);
+    } else {
+      m2[i] = static_cast<int8_t>(byte - 32);
+    }
+  }
+  return Load3(m0, m1, m2);
+}
+
+/// Masks that scatter planar r/g/b u8x16 registers into output chunk
+/// \p chunk (0..2) of the 48 interleaved bytes.
+inline Masks3 RgbInterleaveMasks(int chunk) {
+  alignas(16) int8_t mr[16], mg[16], mb[16];
+  for (int j = 0; j < 16; ++j) {
+    const int byte = chunk * 16 + j;
+    const int8_t pix = static_cast<int8_t>(byte / 3);
+    mr[j] = mg[j] = mb[j] = -1;
+    switch (byte % 3) {
+      case 0:
+        mr[j] = pix;
+        break;
+      case 1:
+        mg[j] = pix;
+        break;
+      default:
+        mb[j] = pix;
+        break;
+    }
+  }
+  return Load3(mr, mg, mb);
+}
+
+/// Shared channel-0/1/2 deinterleave mask table (built once per process).
+inline const Masks3* DeinterleaveMaskTable() {
+  static const Masks3 table[3] = {RgbDeinterleaveMasks(0),
+                                  RgbDeinterleaveMasks(1),
+                                  RgbDeinterleaveMasks(2)};
+  return table;
+}
+
+/// out = l0[m0] | l1[m1] | l2[m2] — one shuffled+merged 16-byte vector.
+SMOL_TARGET_SSE4 inline __m128i Shuffle3(__m128i l0, __m128i l1, __m128i l2,
+                                         const Masks3& m) {
+  return _mm_or_si128(
+      _mm_or_si128(_mm_shuffle_epi8(l0, m.m0), _mm_shuffle_epi8(l1, m.m1)),
+      _mm_shuffle_epi8(l2, m.m2));
+}
+
+}  // namespace smol::simd_bytes
+
+#endif  // SMOL_SIMD_X86
+
+#endif  // SMOL_CODEC_SIMD_BYTES_H_

@@ -3,10 +3,15 @@
 #include <cstring>
 #include <vector>
 
+#include "src/util/simd.h"
+
 namespace smol {
 
 namespace {
-// Register-blocked inner kernel: accumulate 1 row of A against B.
+
+// --- Scalar reference paths --------------------------------------------------
+
+// Accumulate 1 row of A against B.
 inline void AxpyRow(const float* a_row, const float* b, float* c_row, int k,
                     int n) {
   for (int p = 0; p < k; ++p) {
@@ -18,25 +23,16 @@ inline void AxpyRow(const float* a_row, const float* b, float* c_row, int k,
     }
   }
 }
-}  // namespace
 
-void Gemm(const float* a, const float* b, float* c, int m, int k, int n,
-          bool accumulate) {
-  if (!accumulate) {
-    std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
-  }
+void GemmScalar(const float* a, const float* b, float* c, int m, int k, int n) {
   for (int i = 0; i < m; ++i) {
     AxpyRow(a + static_cast<size_t>(i) * k, b, c + static_cast<size_t>(i) * n,
             k, n);
   }
 }
 
-void GemmTransA(const float* a, const float* b, float* c, int m, int k, int n,
-                bool accumulate) {
-  // A stored [k x m]; A^T row i is the i-th column of A.
-  if (!accumulate) {
-    std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
-  }
+void GemmTransAScalar(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
   for (int p = 0; p < k; ++p) {
     const float* a_row = a + static_cast<size_t>(p) * m;
     const float* b_row = b + static_cast<size_t>(p) * n;
@@ -51,21 +47,270 @@ void GemmTransA(const float* a, const float* b, float* c, int m, int k, int n,
   }
 }
 
-void GemmTransB(const float* a, const float* b, float* c, int m, int k, int n,
-                bool accumulate) {
-  // B stored [n x k]; C[i][j] = dot(A row i, B row j).
+void GemmTransBScalar(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
   for (int i = 0; i < m; ++i) {
     const float* a_row = a + static_cast<size_t>(i) * k;
     float* c_row = c + static_cast<size_t>(i) * n;
     for (int j = 0; j < n; ++j) {
       const float* b_row = b + static_cast<size_t>(j) * k;
-      float acc = accumulate ? c_row[j] : 0.0f;
+      float acc = 0.0f;
       for (int p = 0; p < k; ++p) {
         acc += a_row[p] * b_row[p];
       }
-      c_row[j] = acc;
+      c_row[j] += acc;
     }
   }
+}
+
+#if SMOL_SIMD_X86
+
+// --- AVX2 packed microkernel -------------------------------------------------
+//
+// Classic GotoBLAS structure scaled down for this library's layer sizes:
+// A is packed into mr=6 row panels, B into nr=16 column panels, and a
+// 6x16 register tile (12 ymm accumulators + 2 B vectors + 1 A broadcast)
+// runs the k loop with FMAs. k is blocked at kKc so the packed B panel
+// stays L2-resident.
+
+constexpr int kMr = 6;
+constexpr int kNr = 16;
+constexpr int kKc = 256;
+
+// How A/B are laid out in memory (the packers absorb the transposes so the
+// microkernel only ever sees packed panels).
+enum class AMode { kRowMajor, kTransposed };   // a[i*k+p] vs a[p*m+i]
+enum class BMode { kRowMajor, kTransposed };   // b[p*n+j] vs b[j*k+p]
+
+// ap[p*kMr + r] <- A(row0 + r, p0 + p), zero-padded past `rows`.
+void PackA(const float* a, AMode mode, int m, int k, int row0, int rows,
+           int p0, int kc, float* ap) {
+  if (mode == AMode::kRowMajor) {
+    for (int p = 0; p < kc; ++p) {
+      for (int r = 0; r < kMr; ++r) {
+        ap[p * kMr + r] =
+            r < rows ? a[static_cast<size_t>(row0 + r) * k + p0 + p] : 0.0f;
+      }
+    }
+  } else {
+    for (int p = 0; p < kc; ++p) {
+      const float* col = a + static_cast<size_t>(p0 + p) * m + row0;
+      for (int r = 0; r < kMr; ++r) {
+        ap[p * kMr + r] = r < rows ? col[r] : 0.0f;
+      }
+    }
+  }
+}
+
+// Panel-major B: panel j0/kNr occupies kc*kNr floats at bp + (j0/kNr)*kc*kNr,
+// with bp_panel[p*kNr + j] <- B(p0 + p, j0 + j), zero-padded past `n`.
+void PackB(const float* b, BMode mode, int k, int n, int p0, int kc,
+           float* bp) {
+  const int panels = (n + kNr - 1) / kNr;
+  for (int jp = 0; jp < panels; ++jp) {
+    const int j0 = jp * kNr;
+    const int cols = n - j0 < kNr ? n - j0 : kNr;
+    float* panel = bp + static_cast<size_t>(jp) * kc * kNr;
+    if (mode == BMode::kRowMajor) {
+      for (int p = 0; p < kc; ++p) {
+        const float* src = b + static_cast<size_t>(p0 + p) * n + j0;
+        float* dst = panel + p * kNr;
+        for (int j = 0; j < cols; ++j) dst[j] = src[j];
+        for (int j = cols; j < kNr; ++j) dst[j] = 0.0f;
+      }
+    } else {
+      for (int p = 0; p < kc; ++p) {
+        float* dst = panel + p * kNr;
+        for (int j = 0; j < cols; ++j) {
+          dst[j] = b[static_cast<size_t>(j0 + j) * k + p0 + p];
+        }
+        for (int j = cols; j < kNr; ++j) dst[j] = 0.0f;
+      }
+    }
+  }
+}
+
+// C(tile) += packed A panel x packed B panel over kc.
+SMOL_TARGET_AVX2 void MicroKernel6x16(const float* ap, const float* bp, int kc,
+                                      float* c, int ldc, int rows, int cols) {
+  __m256 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (int p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNr + 8);
+    for (int r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_broadcast_ss(ap + p * kMr + r);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  if (rows == kMr && cols == kNr) {
+    for (int r = 0; r < kMr; ++r) {
+      float* c_row = c + static_cast<size_t>(r) * ldc;
+      _mm256_storeu_ps(c_row, _mm256_add_ps(_mm256_loadu_ps(c_row), acc[r][0]));
+      _mm256_storeu_ps(c_row + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(c_row + 8), acc[r][1]));
+    }
+  } else {
+    alignas(32) float buf[kNr];
+    for (int r = 0; r < rows; ++r) {
+      _mm256_store_ps(buf, acc[r][0]);
+      _mm256_store_ps(buf + 8, acc[r][1]);
+      float* c_row = c + static_cast<size_t>(r) * ldc;
+      for (int j = 0; j < cols; ++j) c_row[j] += buf[j];
+    }
+  }
+}
+
+void GemmAvx2(const float* a, AMode amode, const float* b, BMode bmode,
+              float* c, int m, int k, int n) {
+  const int panels = (n + kNr - 1) / kNr;
+  // Packing scratch is reused across calls; layers call Gemm in tight loops.
+  thread_local std::vector<float> bp;
+  thread_local std::vector<float> ap;
+  bp.resize(static_cast<size_t>(panels) * kKc * kNr);
+  ap.resize(static_cast<size_t>(kKc) * kMr);
+  for (int p0 = 0; p0 < k; p0 += kKc) {
+    const int kc = k - p0 < kKc ? k - p0 : kKc;
+    PackB(b, bmode, k, n, p0, kc, bp.data());
+    for (int i0 = 0; i0 < m; i0 += kMr) {
+      const int rows = m - i0 < kMr ? m - i0 : kMr;
+      PackA(a, amode, m, k, i0, rows, p0, kc, ap.data());
+      for (int jp = 0; jp < panels; ++jp) {
+        const int j0 = jp * kNr;
+        const int cols = n - j0 < kNr ? n - j0 : kNr;
+        MicroKernel6x16(ap.data(), bp.data() + static_cast<size_t>(jp) * kc * kNr,
+                        kc, c + static_cast<size_t>(i0) * n + j0, n, rows,
+                        cols);
+      }
+    }
+  }
+}
+
+// --- SSE4 paths --------------------------------------------------------------
+//
+// No packing: a 4-wide axpy inner loop. ~4x scalar, used when the host has
+// SSE4.1 but not AVX2 (or when the dispatch cap forces it).
+
+SMOL_TARGET_SSE4 void AxpyRowSse4(const float* a_row, const float* b,
+                                  float* c_row, int k, int n) {
+  for (int p = 0; p < k; ++p) {
+    const float a_val = a_row[p];
+    if (a_val == 0.0f) continue;
+    const float* b_row = b + static_cast<size_t>(p) * n;
+    const __m128 av = _mm_set1_ps(a_val);
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      _mm_storeu_ps(c_row + j,
+                    _mm_add_ps(_mm_loadu_ps(c_row + j),
+                               _mm_mul_ps(av, _mm_loadu_ps(b_row + j))));
+    }
+    for (; j < n; ++j) c_row[j] += a_val * b_row[j];
+  }
+}
+
+void GemmSse4(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    AxpyRowSse4(a + static_cast<size_t>(i) * k, b,
+                c + static_cast<size_t>(i) * n, k, n);
+  }
+}
+
+void GemmTransASse4(const float* a, const float* b, float* c, int m, int k,
+                    int n) {
+  for (int p = 0; p < k; ++p) {
+    const float* a_row = a + static_cast<size_t>(p) * m;
+    const float* b_row = b + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      if (a_row[i] == 0.0f) continue;
+      AxpyRowSse4(a_row + i, b_row, c + static_cast<size_t>(i) * n, 1, n);
+    }
+  }
+}
+
+SMOL_TARGET_SSE4 void GemmTransBSse4(const float* a, const float* b, float* c,
+                                     int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a + static_cast<size_t>(i) * k;
+    float* c_row = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b + static_cast<size_t>(j) * k;
+      __m128 acc = _mm_setzero_ps();
+      int p = 0;
+      for (; p + 4 <= k; p += 4) {
+        acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(a_row + p),
+                                         _mm_loadu_ps(b_row + p)));
+      }
+      alignas(16) float lanes[4];
+      _mm_store_ps(lanes, acc);
+      float sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+      for (; p < k; ++p) sum += a_row[p] * b_row[p];
+      c_row[j] += sum;
+    }
+  }
+}
+
+#endif  // SMOL_SIMD_X86
+
+inline void MaybeClear(float* c, int m, int n, bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
+  }
+}
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate) {
+  MaybeClear(c, m, n, accumulate);
+#if SMOL_SIMD_X86
+  if (simd::Avx2()) {
+    GemmAvx2(a, AMode::kRowMajor, b, BMode::kRowMajor, c, m, k, n);
+    return;
+  }
+  if (simd::Sse4()) {
+    GemmSse4(a, b, c, m, k, n);
+    return;
+  }
+#endif
+  GemmScalar(a, b, c, m, k, n);
+}
+
+void GemmTransA(const float* a, const float* b, float* c, int m, int k, int n,
+                bool accumulate) {
+  // A stored [k x m]; A^T row i is the i-th column of A.
+  MaybeClear(c, m, n, accumulate);
+#if SMOL_SIMD_X86
+  if (simd::Avx2()) {
+    GemmAvx2(a, AMode::kTransposed, b, BMode::kRowMajor, c, m, k, n);
+    return;
+  }
+  if (simd::Sse4()) {
+    GemmTransASse4(a, b, c, m, k, n);
+    return;
+  }
+#endif
+  GemmTransAScalar(a, b, c, m, k, n);
+}
+
+void GemmTransB(const float* a, const float* b, float* c, int m, int k, int n,
+                bool accumulate) {
+  // B stored [n x k]; C[i][j] = dot(A row i, B row j).
+  MaybeClear(c, m, n, accumulate);
+#if SMOL_SIMD_X86
+  if (simd::Avx2()) {
+    GemmAvx2(a, AMode::kRowMajor, b, BMode::kTransposed, c, m, k, n);
+    return;
+  }
+  if (simd::Sse4()) {
+    GemmTransBSse4(a, b, c, m, k, n);
+    return;
+  }
+#endif
+  GemmTransBScalar(a, b, c, m, k, n);
 }
 
 }  // namespace smol

@@ -9,41 +9,6 @@
 
 namespace smol {
 
-Image ResizeBilinear(const Image& src, int out_w, int out_h) {
-  if (src.width() == out_w && src.height() == out_h) return src;
-  Image out(out_w, out_h, src.channels());
-  const float sx = static_cast<float>(src.width()) / out_w;
-  const float sy = static_cast<float>(src.height()) / out_h;
-  const int c = src.channels();
-  for (int y = 0; y < out_h; ++y) {
-    const float fy = (y + 0.5f) * sy - 0.5f;
-    int y0 = static_cast<int>(std::floor(fy));
-    const float wy = fy - y0;
-    int y1 = y0 + 1;
-    y0 = std::clamp(y0, 0, src.height() - 1);
-    y1 = std::clamp(y1, 0, src.height() - 1);
-    for (int x = 0; x < out_w; ++x) {
-      const float fx = (x + 0.5f) * sx - 0.5f;
-      int x0 = static_cast<int>(std::floor(fx));
-      const float wx = fx - x0;
-      int x1 = x0 + 1;
-      x0 = std::clamp(x0, 0, src.width() - 1);
-      x1 = std::clamp(x1, 0, src.width() - 1);
-      for (int ch = 0; ch < c; ++ch) {
-        const float v00 = src.at(x0, y0, ch);
-        const float v01 = src.at(x1, y0, ch);
-        const float v10 = src.at(x0, y1, ch);
-        const float v11 = src.at(x1, y1, ch);
-        const float v = v00 * (1 - wx) * (1 - wy) + v01 * wx * (1 - wy) +
-                        v10 * (1 - wx) * wy + v11 * wx * wy;
-        out.at(x, y, ch) = static_cast<uint8_t>(
-            std::clamp(static_cast<int>(std::lround(v)), 0, 255));
-      }
-    }
-  }
-  return out;
-}
-
 Result<Tensor> ImagesToTensor(const std::vector<const Image*>& batch,
                               const Normalization& norm) {
   if (batch.empty()) return Status::InvalidArgument("empty batch");

@@ -11,6 +11,7 @@
 #include "src/codec/image.h"
 #include "src/dnn/model.h"
 #include "src/dnn/tensor.h"
+#include "src/preproc/resize.h"  // ResizeBilinear (u8), used by augmentation
 #include "src/util/result.h"
 #include "src/util/rng.h"
 
@@ -36,10 +37,6 @@ struct Normalization {
 /// All images must share dimensions and channel count.
 Result<Tensor> ImagesToTensor(const std::vector<const Image*>& batch,
                               const Normalization& norm);
-
-/// Bilinear resize of an 8-bit image (shared by augmentation and tests; the
-/// production preprocessing operator lives in src/preproc).
-Image ResizeBilinear(const Image& src, int out_w, int out_h);
 
 /// \brief Training configuration.
 struct TrainOptions {

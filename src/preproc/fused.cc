@@ -1,6 +1,103 @@
 #include "src/preproc/fused.h"
 
+#include "src/codec/simd_bytes.h"
+#include "src/util/simd.h"
+
 namespace smol {
+
+namespace {
+
+#if SMOL_SIMD_X86
+
+using simd_bytes::DeinterleaveMaskTable;
+using simd_bytes::Masks3;
+using simd_bytes::Shuffle3;
+
+SMOL_TARGET_AVX2 void FusedTailRgbAvx2(const uint8_t* p, size_t pixels,
+                                       const float* scale,
+                                       const float* offset, float* dst) {
+  const Masks3* masks = DeinterleaveMaskTable();
+  float* planes[3] = {dst, dst + pixels, dst + 2 * pixels};
+  size_t i = 0;
+  for (; i + 16 <= pixels; i += 16) {
+    const uint8_t* src = p + i * 3;
+    const __m128i l0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+    const __m128i l1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 16));
+    const __m128i l2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 32));
+    for (int ch = 0; ch < 3; ++ch) {
+      const __m128i u8x16 = Shuffle3(l0, l1, l2, masks[ch]);
+      const __m256 s = _mm256_set1_ps(scale[ch]);
+      const __m256 o = _mm256_set1_ps(offset[ch]);
+      const __m256 lo = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(u8x16));
+      const __m256 hi = _mm256_cvtepi32_ps(
+          _mm256_cvtepu8_epi32(_mm_srli_si128(u8x16, 8)));
+      _mm256_storeu_ps(planes[ch] + i, _mm256_fmadd_ps(lo, s, o));
+      _mm256_storeu_ps(planes[ch] + i + 8, _mm256_fmadd_ps(hi, s, o));
+    }
+  }
+  for (; i < pixels; ++i) {
+    for (int ch = 0; ch < 3; ++ch) {
+      planes[ch][i] =
+          static_cast<float>(p[i * 3 + ch]) * scale[ch] + offset[ch];
+    }
+  }
+}
+
+SMOL_TARGET_SSE4 void FusedTailRgbSse4(const uint8_t* p, size_t pixels,
+                                       const float* scale,
+                                       const float* offset, float* dst) {
+  const Masks3* masks = DeinterleaveMaskTable();
+  float* planes[3] = {dst, dst + pixels, dst + 2 * pixels};
+  size_t i = 0;
+  for (; i + 16 <= pixels; i += 16) {
+    const uint8_t* src = p + i * 3;
+    const __m128i l0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+    const __m128i l1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 16));
+    const __m128i l2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 32));
+    for (int ch = 0; ch < 3; ++ch) {
+      __m128i u8x16 = Shuffle3(l0, l1, l2, masks[ch]);
+      const __m128 s = _mm_set1_ps(scale[ch]);
+      const __m128 o = _mm_set1_ps(offset[ch]);
+      for (int q = 0; q < 4; ++q) {
+        const __m128 v = _mm_cvtepi32_ps(_mm_cvtepu8_epi32(u8x16));
+        _mm_storeu_ps(planes[ch] + i + q * 4,
+                      _mm_add_ps(_mm_mul_ps(v, s), o));
+        u8x16 = _mm_srli_si128(u8x16, 4);
+      }
+    }
+  }
+  for (; i < pixels; ++i) {
+    for (int ch = 0; ch < 3; ++ch) {
+      planes[ch][i] =
+          static_cast<float>(p[i * 3 + ch]) * scale[ch] + offset[ch];
+    }
+  }
+}
+
+// Single-channel (grayscale) tail: plain strided widen + affine.
+SMOL_TARGET_AVX2 void FusedTailGrayAvx2(const uint8_t* p, size_t pixels,
+                                        float scale, float offset,
+                                        float* dst) {
+  const __m256 s = _mm256_set1_ps(scale);
+  const __m256 o = _mm256_set1_ps(offset);
+  size_t i = 0;
+  for (; i + 8 <= pixels; i += 8) {
+    const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p + i))));
+    _mm256_storeu_ps(dst + i, _mm256_fmadd_ps(v, s, o));
+  }
+  for (; i < pixels; ++i) {
+    dst[i] = static_cast<float>(p[i]) * scale + offset;
+  }
+}
+
+#endif  // SMOL_SIMD_X86
+
+}  // namespace
 
 Status FusedConvertNormalizeSplit(const Image& src,
                                   const NormalizeParams& params,
@@ -34,6 +131,16 @@ Status FusedConvertNormalizeSplitInto(const Image& src,
   }
   const uint8_t* p = src.data();
   if (c == 3) {
+#if SMOL_SIMD_X86
+    if (simd::Avx2()) {
+      FusedTailRgbAvx2(p, pixels, scale, offset, dst);
+      return Status::OK();
+    }
+    if (simd::Sse4()) {
+      FusedTailRgbSse4(p, pixels, scale, offset, dst);
+      return Status::OK();
+    }
+#endif
     float* d0 = dst;
     float* d1 = dst + pixels;
     float* d2 = dst + 2 * pixels;
@@ -47,6 +154,12 @@ Status FusedConvertNormalizeSplitInto(const Image& src,
       float* d = dst + static_cast<size_t>(ch) * pixels;
       const float s = scale[ch % 3];
       const float o = offset[ch % 3];
+#if SMOL_SIMD_X86
+      if (c == 1 && simd::Avx2()) {
+        FusedTailGrayAvx2(p, pixels, s, o, d);
+        continue;
+      }
+#endif
       for (size_t i = 0; i < pixels; ++i) {
         d[i] = static_cast<float>(p[i * c + ch]) * s + o;
       }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/dnn/trainer.h"  // ResizeBilinear on u8 images
+#include "src/preproc/resize.h"
 #include "src/util/macros.h"
 
 namespace smol {
@@ -136,32 +136,8 @@ Result<FloatImage> ResizeF32(const FloatImage& src, int out_w, int out_h) {
   out.channels = src.channels;
   out.chw = false;
   out.data.resize(static_cast<size_t>(out_w) * out_h * src.channels);
-  const float sx = static_cast<float>(src.width) / out_w;
-  const float sy = static_cast<float>(src.height) / out_h;
-  const int c = src.channels;
-  for (int y = 0; y < out_h; ++y) {
-    const float fy = (y + 0.5f) * sy - 0.5f;
-    int y0 = static_cast<int>(std::floor(fy));
-    const float wy = fy - y0;
-    int y1 = std::clamp(y0 + 1, 0, src.height - 1);
-    y0 = std::clamp(y0, 0, src.height - 1);
-    for (int x = 0; x < out_w; ++x) {
-      const float fx = (x + 0.5f) * sx - 0.5f;
-      int x0 = static_cast<int>(std::floor(fx));
-      const float wx = fx - x0;
-      int x1 = std::clamp(x0 + 1, 0, src.width - 1);
-      x0 = std::clamp(x0, 0, src.width - 1);
-      for (int ch = 0; ch < c; ++ch) {
-        const float v00 = src.data[(static_cast<size_t>(y0) * src.width + x0) * c + ch];
-        const float v01 = src.data[(static_cast<size_t>(y0) * src.width + x1) * c + ch];
-        const float v10 = src.data[(static_cast<size_t>(y1) * src.width + x0) * c + ch];
-        const float v11 = src.data[(static_cast<size_t>(y1) * src.width + x1) * c + ch];
-        out.data[(static_cast<size_t>(y) * out_w + x) * c + ch] =
-            v00 * (1 - wx) * (1 - wy) + v01 * wx * (1 - wy) +
-            v10 * (1 - wx) * wy + v11 * wx * wy;
-      }
-    }
-  }
+  internal::ResizeBilinearF32(src.data.data(), src.width, src.height,
+                              src.channels, out_w, out_h, out.data.data());
   return out;
 }
 

@@ -1,0 +1,30 @@
+// Bilinear resize kernels (u8 and f32, interleaved HWC).
+//
+// Shared by the preprocessing operators (ops.h), the trainer's low-resolution
+// augmentation, and the dataset thumbnail builders. Both kernels are
+// separable two-pass implementations (vertical lerp into a float row, then
+// horizontal lerp through precomputed clamped taps) with AVX2/SSE4 paths
+// behind the runtime dispatch in src/util/cpu_features.h.
+#ifndef SMOL_PREPROC_RESIZE_H_
+#define SMOL_PREPROC_RESIZE_H_
+
+#include "src/codec/image.h"
+
+namespace smol {
+
+/// Bilinear resize of an 8-bit HWC image. Returns \p src unchanged when the
+/// size already matches. Half-pixel centers; edge taps clamp.
+Image ResizeBilinear(const Image& src, int out_w, int out_h);
+
+namespace internal {
+
+/// f32 HWC resize core (used by ResizeF32 in ops.cc). \p dst must hold
+/// out_w * out_h * c floats.
+void ResizeBilinearF32(const float* src, int src_w, int src_h, int c,
+                       int out_w, int out_h, float* dst);
+
+}  // namespace internal
+
+}  // namespace smol
+
+#endif  // SMOL_PREPROC_RESIZE_H_

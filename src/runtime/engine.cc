@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "src/preproc/fused.h"
+#include "src/util/cpu_features.h"
 #include "src/util/logging.h"
 #include "src/util/macros.h"
 #include "src/util/mpmc_queue.h"
@@ -36,6 +37,10 @@ Engine::Engine(EngineOptions options, PipelineSpec pipeline_spec,
   }
   if (!options_.enable_threading) options_.num_producers = 1;
   if (options_.num_consumers <= 0) options_.num_consumers = 1;
+
+  SMOL_LOG(kInfo) << "engine simd dispatch: "
+                  << SimdLevelName(ActiveSimdLevel()) << " (detected "
+                  << SimdLevelName(DetectedSimdLevel()) << ")";
 
   // Compile the preprocessing plan once (§6.2); the lesion toggle falls back
   // to the naive §2 ordering.

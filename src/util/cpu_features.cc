@@ -1,0 +1,86 @@
+#include "src/util/cpu_features.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace smol {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSSE4:
+      return "sse4";
+    case SimdLevel::kAVX2:
+      return "avx2";
+  }
+  return "?";
+}
+
+namespace {
+
+SimdLevel ProbeCpu() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports consults cpuid and (for AVX) OS xsave state.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAVX2;
+  }
+  if (__builtin_cpu_supports("sse4.1") && __builtin_cpu_supports("ssse3")) {
+    return SimdLevel::kSSE4;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+// "No cap" sentinel: larger than any SimdLevel so ActiveSimdLevel() resolves
+// to the detected level even after wider tiers are added.
+constexpr int kNoCap = 1 << 20;
+
+int EnvCap() {
+  const char* env = std::getenv("SMOL_SIMD");
+  if (env == nullptr || *env == '\0') return kNoCap;
+  if (std::strcmp(env, "scalar") == 0) return static_cast<int>(SimdLevel::kScalar);
+  if (std::strcmp(env, "sse4") == 0) return static_cast<int>(SimdLevel::kSSE4);
+  if (std::strcmp(env, "avx2") == 0) return static_cast<int>(SimdLevel::kAVX2);
+  // A typo here would silently measure the wrong paths; cap conservatively.
+  std::fprintf(stderr,
+               "smol: unrecognized SMOL_SIMD=\"%s\" (want scalar|sse4|avx2); "
+               "forcing scalar\n",
+               env);
+  return static_cast<int>(SimdLevel::kScalar);
+}
+
+std::atomic<int>& CapStorage() {
+  static std::atomic<int> cap(EnvCap());
+  return cap;
+}
+
+}  // namespace
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel detected = ProbeCpu();
+  return detected;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int cap = CapStorage().load(std::memory_order_relaxed);
+  const int detected = static_cast<int>(DetectedSimdLevel());
+  return static_cast<SimdLevel>(cap < detected ? cap : detected);
+}
+
+void SetSimdLevelCap(SimdLevel level) {
+  CapStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+ScopedSimdLevelCap::ScopedSimdLevelCap(SimdLevel level)
+    : previous_(static_cast<SimdLevel>(
+          CapStorage().load(std::memory_order_relaxed))) {
+  SetSimdLevelCap(level);
+}
+
+ScopedSimdLevelCap::~ScopedSimdLevelCap() { SetSimdLevelCap(previous_); }
+
+}  // namespace smol

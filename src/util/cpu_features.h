@@ -1,0 +1,51 @@
+// Runtime CPU feature detection and SIMD dispatch level selection.
+//
+// The kernels in codec/, preproc/, and dnn/ each compile a scalar reference
+// path unconditionally plus (on x86-64 with a GNU-compatible compiler) SSE4
+// and AVX2 variants built with per-function target attributes. At runtime the
+// widest level the host supports is picked once; tests and the SMOL_SIMD
+// environment variable can cap it to force narrower paths.
+#ifndef SMOL_UTIL_CPU_FEATURES_H_
+#define SMOL_UTIL_CPU_FEATURES_H_
+
+namespace smol {
+
+/// Dispatch tiers, ordered: a level implies all narrower ones.
+enum class SimdLevel : int {
+  kScalar = 0,  ///< portable C++ only
+  kSSE4 = 1,    ///< SSSE3 + SSE4.1 (x86-64)
+  kAVX2 = 2,    ///< AVX2 + FMA (x86-64)
+};
+
+/// Human-readable name ("scalar", "sse4", "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// Widest level the host CPU (and OS) supports. Probed once and cached;
+/// always kScalar on non-x86 builds.
+SimdLevel DetectedSimdLevel();
+
+/// The level kernels dispatch on: min(detected, cap). The cap starts at the
+/// value of the SMOL_SIMD environment variable ("scalar", "sse4", "avx2";
+/// unset means no cap) and can be lowered/restored programmatically.
+SimdLevel ActiveSimdLevel();
+
+/// Caps ActiveSimdLevel() at \p level (detection still bounds it above).
+/// Thread-safe; intended for tests and benchmarks.
+void SetSimdLevelCap(SimdLevel level);
+
+/// RAII cap for scalar-vs-SIMD parity tests:
+///   { ScopedSimdLevelCap cap(SimdLevel::kScalar);  ... scalar path ... }
+class ScopedSimdLevelCap {
+ public:
+  explicit ScopedSimdLevelCap(SimdLevel level);
+  ~ScopedSimdLevelCap();
+  ScopedSimdLevelCap(const ScopedSimdLevelCap&) = delete;
+  ScopedSimdLevelCap& operator=(const ScopedSimdLevelCap&) = delete;
+
+ private:
+  SimdLevel previous_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_UTIL_CPU_FEATURES_H_

@@ -1,0 +1,59 @@
+// SIMD build plumbing shared by the vectorized kernels.
+//
+// Usage pattern inside a kernel translation unit:
+//
+//   #include "src/util/simd.h"
+//   #if SMOL_SIMD_X86
+//   SMOL_TARGET_AVX2 void FooAvx2(...) { ... _mm256_* intrinsics ... }
+//   SMOL_TARGET_SSE4 void FooSse4(...) { ... _mm_* intrinsics ... }
+//   #endif
+//   void Foo(...) {
+//   #if SMOL_SIMD_X86
+//     if (simd::Avx2()) return FooAvx2(...);
+//     if (simd::Sse4()) return FooSse4(...);
+//   #endif
+//     ... scalar reference ...
+//   }
+//
+// The target attributes let a portable (-march=x86-64) build carry AVX2 code
+// that is only ever executed after ActiveSimdLevel() confirms hardware
+// support, so the default build runs on any x86-64. With -DSMOL_NATIVE_SIMD
+// the whole tree is additionally compiled -march=native.
+#ifndef SMOL_UTIL_SIMD_H_
+#define SMOL_UTIL_SIMD_H_
+
+#include "src/util/cpu_features.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SMOL_SIMD_X86 1
+#include <immintrin.h>
+// target attributes are unnecessary (and keep code out of -march buckets)
+// when the baseline already enables the ISA.
+#if defined(__AVX2__) && defined(__FMA__)
+#define SMOL_TARGET_AVX2
+#else
+#define SMOL_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#endif
+#if defined(__SSE4_1__)
+#define SMOL_TARGET_SSE4
+#else
+#define SMOL_TARGET_SSE4 __attribute__((target("sse4.1")))
+#endif
+#else
+#define SMOL_SIMD_X86 0
+#define SMOL_TARGET_AVX2
+#define SMOL_TARGET_SSE4
+#endif
+
+namespace smol::simd {
+
+/// True when the AVX2+FMA paths should run.
+inline bool Avx2() { return ActiveSimdLevel() >= SimdLevel::kAVX2; }
+
+/// True when the SSE4 paths should run (AVX2 hosts also pass unless capped).
+inline bool Sse4() { return ActiveSimdLevel() >= SimdLevel::kSSE4; }
+
+}  // namespace smol::simd
+
+#endif  // SMOL_UTIL_SIMD_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "src/preproc/fused.h"
 #include "src/preproc/graph.h"
@@ -26,6 +27,37 @@ TEST(OpsTest, ResizeShortSidePreservesAspect) {
   ASSERT_OK_AND_ASSIGN(Image out2, ResizeShortSide(tall, 20));
   EXPECT_EQ(out2.width(), 20);
   EXPECT_EQ(out2.height(), 40);
+}
+
+// Edge-tap regression: 1-px-wide/tall sources and non-multiple-of-8 extents
+// must resize without reading outside the image (the sanitizer config runs
+// this suite under ASan).
+TEST(OpsTest, ResizeHandlesDegenerateAndOddSizes) {
+  for (const auto& shape : {std::pair<int, int>{1, 9},
+                            std::pair<int, int>{9, 1},
+                            std::pair<int, int>{1, 1},
+                            std::pair<int, int>{13, 7},
+                            std::pair<int, int>{17, 23}}) {
+    const Image img = MakeTestImage(shape.first, shape.second, 3);
+    ASSERT_OK_AND_ASSIGN(Image up, ResizeExact(img, 15, 11));
+    EXPECT_EQ(up.width(), 15);
+    EXPECT_EQ(up.height(), 11);
+    ASSERT_OK_AND_ASSIGN(Image one, ResizeU8(img, 1, 1));
+    EXPECT_EQ(one.width(), 1);
+    // The 1x1 result is a blend of in-bounds pixels only, so it is a valid
+    // u8 value by construction; just make sure the op produced data.
+    EXPECT_EQ(one.size_bytes(), 3u);
+  }
+  // f32 path, odd sizes both directions.
+  FloatImage f;
+  f.width = 13;
+  f.height = 1;
+  f.channels = 3;
+  f.chw = false;
+  f.data.assign(13 * 3, 1.0f);
+  ASSERT_OK_AND_ASSIGN(FloatImage fup, ResizeF32(f, 30, 5));
+  EXPECT_EQ(fup.width, 30);
+  for (float v : fup.data) EXPECT_FLOAT_EQ(v, 1.0f);
 }
 
 TEST(OpsTest, CenterCropIsCentered) {
