@@ -1,46 +1,114 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure -> build -> ctest, in one command.
+# Tier-1 verify + the CI entry points, in one command.
 #
-#   ci/check.sh                        # plain build + all suites
-#   ci/check.sh --sanitize             # ASan/UBSan build, every suite
-#   ci/check.sh --bench-smoke [out]    # bench_micro smoke run -> JSON snapshot
-#                                      #   (default out: BENCH_pr2.json)
-#   ci/check.sh -L unit                # remaining args are passed to ctest
+#   ci/check.sh                          # plain build + all suites
+#   ci/check.sh --sanitize               # ASan/UBSan build, every suite
+#   ci/check.sh --werror                 # add -DSMOL_WERROR=ON (combinable)
+#   ci/check.sh --bench-smoke [out]      # bench_micro smoke -> JSON snapshot
+#                                        #   (default out: BENCH_pr3.json)
+#   ci/check.sh --bench-compare OLD NEW  # fail if any benchmark in NEW
+#                                        #   regressed >15% vs OLD
+#   ci/check.sh --format                 # clang-format check (check-only)
+#   ci/check.sh -L unit                  # remaining args are passed to ctest
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 BUILD_DIR=build
+MODE=check
 CMAKE_ARGS=()
 CTEST_ARGS=(--output-on-failure -j "${JOBS}")
+BENCH_OUT=BENCH_pr3.json
+COMPARE_OLD=""
+COMPARE_NEW=""
 
-case "${1:-}" in
-  --sanitize)
-    shift
-    BUILD_DIR=build-asan
-    # Sanitizer runs cover every suite; tests/CMakeLists.txt scales the
-    # per-suite timeouts by SMOL_TEST_TIMEOUT_FACTOR to absorb ASan overhead.
-    CMAKE_ARGS+=(-DSMOL_SANITIZE=ON -DSMOL_BUILD_BENCH=OFF
-                 -DSMOL_BUILD_EXAMPLES=OFF)
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --sanitize)
+      shift
+      BUILD_DIR=build-asan
+      # Sanitizer runs cover every suite; tests/CMakeLists.txt scales the
+      # per-suite timeouts by SMOL_TEST_TIMEOUT_FACTOR to absorb ASan
+      # overhead.
+      CMAKE_ARGS+=(-DSMOL_SANITIZE=ON -DSMOL_BUILD_BENCH=OFF
+                   -DSMOL_BUILD_EXAMPLES=OFF)
+      ;;
+    --werror)
+      shift
+      CMAKE_ARGS+=(-DSMOL_WERROR=ON)
+      ;;
+    --bench-smoke)
+      shift
+      MODE=bench-smoke
+      if [[ $# -gt 0 && "$1" != -* ]]; then
+        BENCH_OUT="$1"
+        shift
+      fi
+      ;;
+    --bench-compare)
+      [[ $# -ge 3 ]] || {
+        echo "usage: ci/check.sh --bench-compare OLD NEW" >&2
+        exit 2
+      }
+      MODE=bench-compare
+      COMPARE_OLD="$2"
+      COMPARE_NEW="$3"
+      shift 3
+      ;;
+    --format)
+      shift
+      MODE=format
+      ;;
+    *)
+      CTEST_ARGS+=("$1")
+      shift
+      ;;
+  esac
+done
+
+# The sanitizer configuration turns the bench targets off, so a sanitized
+# bench smoke cannot exist — reject the combination instead of failing
+# mid-build on a missing bench_micro target.
+if [[ "${MODE}" == bench-smoke && "${BUILD_DIR}" == build-asan ]]; then
+  echo "ci/check.sh: --bench-smoke cannot be combined with --sanitize" >&2
+  exit 2
+fi
+
+# Compiler cache when available (the CI workflow restores ~/.cache/ccache).
+if command -v ccache > /dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+case "${MODE}" in
+  format)
+    # Check-only: never rewrites. Mirrors the `format` CI job; skips (rather
+    # than fails) where clang-format is not installed so the plain tier-1
+    # gate stays runnable everywhere.
+    if ! command -v clang-format > /dev/null 2>&1; then
+      echo "clang-format not found; skipping format check" >&2
+      exit 0
+    fi
+    mapfile -t FILES < <(git ls-files '*.h' '*.cc' '*.cpp')
+    clang-format --dry-run --Werror "${FILES[@]}"
+    echo "format check passed (${#FILES[@]} files)"
     ;;
-  --bench-smoke)
-    shift
-    OUT="${1:-BENCH_pr2.json}"
-    [[ $# -gt 0 ]] && shift
+  bench-compare)
+    python3 ci/bench_compare.py "${COMPARE_OLD}" "${COMPARE_NEW}" \
+      --threshold 0.15
+    ;;
+  bench-smoke)
     cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
     cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro
     "${BUILD_DIR}/bench/bench_micro" \
       --benchmark_min_time=0.1 \
-      --benchmark_out="${OUT}" \
+      --benchmark_out="${BENCH_OUT}" \
       --benchmark_out_format=json
-    echo "bench smoke snapshot written to ${OUT}"
-    exit 0
+    echo "bench smoke snapshot written to ${BENCH_OUT}"
+    ;;
+  check)
+    cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
+    cmake --build "${BUILD_DIR}" -j "${JOBS}"
+    (cd "${BUILD_DIR}" && ctest "${CTEST_ARGS[@]}")
     ;;
 esac
-
-CTEST_ARGS+=("$@")
-
-cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
-(cd "${BUILD_DIR}" && ctest "${CTEST_ARGS[@]}")

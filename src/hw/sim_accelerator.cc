@@ -1,5 +1,6 @@
 #include "src/hw/sim_accelerator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -50,6 +51,8 @@ void SimAccelerator::ExecuteBatch(int batch_size, size_t input_bytes,
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.batches++;
   stats_.images += static_cast<uint64_t>(batch_size);
+  stats_.max_batch =
+      std::max(stats_.max_batch, static_cast<uint64_t>(batch_size));
   stats_.compute_seconds += compute_s;
   stats_.transfer_seconds += transfer_s;
 }

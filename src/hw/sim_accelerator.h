@@ -48,6 +48,7 @@ class SimAccelerator {
   struct Stats {
     uint64_t batches = 0;
     uint64_t images = 0;
+    uint64_t max_batch = 0;         // largest single batch submitted
     double compute_seconds = 0.0;   // modelled device-busy time
     double transfer_seconds = 0.0;  // modelled DMA time
   };

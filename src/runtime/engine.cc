@@ -1,31 +1,17 @@
 #include "src/runtime/engine.h"
 
 #include <atomic>
+#include <mutex>
 #include <thread>
+#include <utility>
 
-#include "src/preproc/fused.h"
-#include "src/util/cpu_features.h"
-#include "src/util/logging.h"
-#include "src/util/macros.h"
-#include "src/util/mpmc_queue.h"
+#include "src/runtime/server.h"
 #include "src/util/stopwatch.h"
 
 namespace smol {
 
-namespace {
-
-/// A preprocessed sample flowing from producers to consumers.
-struct PreprocessedItem {
-  std::unique_ptr<PooledBuffer> buffer;  // f32 CHW bytes
-  size_t float_count = 0;
-  int label = 0;
-};
-
-}  // namespace
-
 Engine::Engine(EngineOptions options, PipelineSpec pipeline_spec,
-               std::function<Result<Image>(const WorkItem&)> decode,
-               std::shared_ptr<SimAccelerator> accel)
+               DecodeFn decode, std::shared_ptr<SimAccelerator> accel)
     : options_(options),
       pipeline_spec_(pipeline_spec),
       decode_(std::move(decode)),
@@ -38,137 +24,58 @@ Engine::Engine(EngineOptions options, PipelineSpec pipeline_spec,
   if (!options_.enable_threading) options_.num_producers = 1;
   if (options_.num_consumers <= 0) options_.num_consumers = 1;
 
-  SMOL_LOG(kInfo) << "engine simd dispatch: "
-                  << SimdLevelName(ActiveSimdLevel()) << " (detected "
-                  << SimdLevelName(DetectedSimdLevel()) << ")";
-
-  // Compile the preprocessing plan once (§6.2); the lesion toggle falls back
-  // to the naive §2 ordering.
-  PipelineSpec spec = pipeline_spec_;
-  spec.allow_fusion = options_.enable_dag_opt;
-  if (options_.enable_dag_opt) {
-    auto optimized = PreprocOptimizer::Optimize(spec);
-    plan_ = optimized.ok() ? optimized.value()
-                           : PreprocOptimizer::ReferencePlan(spec);
-  } else {
-    plan_ = PreprocOptimizer::ReferencePlan(spec);
-  }
+  plan_ = CompilePipelinePlan(pipeline_spec_, options_.enable_dag_opt);
 }
 
 Result<EngineStats> Engine::Run(const std::vector<WorkItem>& items) {
   if (accel_ == nullptr) return Status::InvalidArgument("null accelerator");
   if (items.empty()) return Status::InvalidArgument("no work items");
 
-  BufferPool::Options pool_opts;
-  pool_opts.enable_reuse = options_.enable_memory_reuse;
-  pool_opts.pin_buffers = options_.enable_pinned;
-  BufferPool pool(pool_opts);
+  Stopwatch wall;
 
-  MpmcQueue<PreprocessedItem> queue(
-      static_cast<size_t>(options_.queue_capacity));
-  std::atomic<size_t> next_item{0};
+  // One-shot run = a Server fed the whole work list, then drained. The batch
+  // runner wants full batches, so the coalescing window is effectively
+  // unbounded — Shutdown() flushes the final partial batch immediately.
+  ServerOptions server_options;
+  server_options.engine = options_;
+  server_options.max_batch = options_.batch_size;
+  server_options.max_queue_delay_us = 1e9;
+  server_options.admission_capacity = options_.queue_capacity;
+  server_options.overload = OverloadPolicy::kBlock;
+  Server server(server_options, pipeline_spec_, plan_, decode_, accel_);
+
+  // Submission stops at the first failure (like the pre-Server producer
+  // loop): in-flight requests drain, the rest of the work list never enters
+  // the pipeline. Callbacks fire on worker threads, but Shutdown() below
+  // joins them before these locals go out of scope.
   std::atomic<bool> failed{false};
   Status first_error;
   std::mutex error_mutex;
-  std::atomic<uint64_t> images_done{0};
-  std::atomic<uint64_t> decode_us_total{0};
-  std::atomic<uint64_t> preproc_us_total{0};
-
-  auto record_error = [&](const Status& s) {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    if (first_error.ok()) first_error = s;
-    failed.store(true);
-  };
-
-  Stopwatch wall;
-
-  // --- Producers: decode + preprocess -> queue -------------------------------
-  auto producer_fn = [&] {
-    for (;;) {
-      const size_t idx = next_item.fetch_add(1);
-      if (idx >= items.size() || failed.load()) break;
-      const WorkItem& item = items[idx];
-      Stopwatch sw;
-      auto decoded = decode_(item);
-      decode_us_total.fetch_add(static_cast<uint64_t>(sw.ElapsedMicros()));
-      if (!decoded.ok()) {
-        record_error(decoded.status());
-        break;
+  for (const WorkItem& item : items) {
+    if (failed.load()) break;
+    server.Submit(item, [&](const InferenceReply& reply) {
+      if (!reply.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = reply.status;
+        failed.store(true);
       }
-      sw.Restart();
-      auto preprocessed = ExecutePlan(plan_, pipeline_spec_, decoded.value());
-      preproc_us_total.fetch_add(static_cast<uint64_t>(sw.ElapsedMicros()));
-      if (!preprocessed.ok()) {
-        record_error(preprocessed.status());
-        break;
-      }
-      // Copy into a pooled (possibly pinned) staging buffer. When memory
-      // reuse is on, this recycles a prior batch's buffer.
-      PreprocessedItem out;
-      out.float_count = preprocessed->data.size();
-      out.label = item.label;
-      out.buffer = pool.Get(out.float_count * sizeof(float));
-      std::memcpy(out.buffer->data.data(), preprocessed->data.data(),
-                  out.float_count * sizeof(float));
-      if (!queue.Push(std::move(out))) break;  // queue closed
-    }
-  };
-
-  // --- Consumers: batch -> accelerator ---------------------------------------
-  auto consumer_fn = [&] {
-    std::vector<PreprocessedItem> batch;
-    batch.reserve(static_cast<size_t>(options_.batch_size));
-    auto flush = [&] {
-      if (batch.empty()) return;
-      size_t bytes = 0;
-      bool pinned = true;
-      for (const auto& it : batch) {
-        bytes += it.buffer->data.size();
-        pinned = pinned && it.buffer->pinned;
-      }
-      accel_->ExecuteBatch(static_cast<int>(batch.size()), bytes, pinned);
-      images_done.fetch_add(batch.size());
-      for (auto& it : batch) pool.Put(std::move(it.buffer));
-      batch.clear();
-    };
-    while (auto item = queue.Pop()) {
-      batch.push_back(std::move(*item));
-      if (static_cast<int>(batch.size()) >= options_.batch_size) flush();
-    }
-    flush();  // drain the tail
-  };
-
-  std::vector<std::thread> producers;
-  producers.reserve(static_cast<size_t>(options_.num_producers));
-  for (int i = 0; i < options_.num_producers; ++i) {
-    producers.emplace_back(producer_fn);
+    });
   }
-  std::vector<std::thread> consumers;
-  consumers.reserve(static_cast<size_t>(options_.num_consumers));
-  for (int i = 0; i < options_.num_consumers; ++i) {
-    consumers.emplace_back(consumer_fn);
-  }
-  for (auto& t : producers) t.join();
-  queue.Close();
-  for (auto& t : consumers) t.join();
+  server.Shutdown();  // drains every accepted request
+  if (failed.load()) return first_error;
 
-  if (failed.load()) {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    return first_error;
-  }
-
+  const ServerStats server_stats = server.stats();
   EngineStats stats;
-  stats.images = images_done.load();
+  stats.images = server_stats.completed;
   stats.wall_seconds = wall.ElapsedSeconds();
   stats.throughput_ims =
       stats.wall_seconds > 0
           ? static_cast<double>(stats.images) / stats.wall_seconds
           : 0.0;
-  stats.decode_seconds = static_cast<double>(decode_us_total.load()) * 1e-6;
-  stats.preprocess_seconds =
-      static_cast<double>(preproc_us_total.load()) * 1e-6;
-  stats.buffer_stats = pool.stats();
-  stats.accel_stats = accel_->stats();
+  stats.decode_seconds = server_stats.decode_seconds;
+  stats.preprocess_seconds = server_stats.preprocess_seconds;
+  stats.buffer_stats = server_stats.buffer_stats;
+  stats.accel_stats = server_stats.accel_stats;
   return stats;
 }
 

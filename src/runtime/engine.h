@@ -1,4 +1,4 @@
-// The Smol execution engine (§6.1, Appendix A).
+// The Smol execution engine (§6.1, Appendix A) — batch flavour.
 //
 // Producers decode + preprocess images on a thread pool; consumers batch the
 // preprocessed buffers, stage them into (simulated-)pinned memory, and submit
@@ -9,16 +9,21 @@
 //   memory reuse — buffer pool recycling vs. fresh allocation per image
 //   pinned       — staging buffers registered as pinned vs. pageable
 //   DAG          — optimized preprocessing plan vs. the naive §2 ordering
+//
+// Engine::Run is a thin wrapper over the streaming Server
+// (runtime/server.h): it submits the whole work list, drains it, and folds
+// the serving statistics into the familiar EngineStats. Use the Server
+// directly for live traffic (per-request futures, dynamic batching,
+// backpressure); use the Engine for one-shot throughput runs.
 #ifndef SMOL_RUNTIME_ENGINE_H_
 #define SMOL_RUNTIME_ENGINE_H_
 
-#include <functional>
 #include <memory>
 #include <vector>
 
-#include "src/codec/image.h"
 #include "src/hw/sim_accelerator.h"
 #include "src/preproc/graph.h"
+#include "src/runtime/pipeline.h"
 #include "src/util/buffer_pool.h"
 #include "src/util/result.h"
 
@@ -35,14 +40,6 @@ struct EngineOptions {
   int num_consumers = 2;   ///< CUDA-stream analogues
   int queue_capacity = 64;
   int batch_size = 16;
-};
-
-/// \brief A unit of work: one stored (encoded) image.
-struct WorkItem {
-  const std::vector<uint8_t>* bytes = nullptr;  ///< encoded stream
-  int label = 0;
-  /// Optional ROI for partial decoding (empty = full decode).
-  Roi roi;
 };
 
 /// \brief End-to-end run statistics.
@@ -63,11 +60,12 @@ struct EngineStats {
 class Engine {
  public:
   /// \p decode maps an item to pixels; \p accel models the DNN device.
-  Engine(EngineOptions options, PipelineSpec pipeline_spec,
-         std::function<Result<Image>(const WorkItem&)> decode,
+  Engine(EngineOptions options, PipelineSpec pipeline_spec, DecodeFn decode,
          std::shared_ptr<SimAccelerator> accel);
 
-  /// Runs the full pipeline over \p items and reports statistics.
+  /// Runs the full pipeline over \p items and reports statistics. On the
+  /// first per-item failure, submission stops, in-flight work drains, and
+  /// that error is returned.
   Result<EngineStats> Run(const std::vector<WorkItem>& items);
 
   /// The preprocessing plan the engine compiled (after DAG optimization or
@@ -80,7 +78,7 @@ class Engine {
   EngineOptions options_;
   PipelineSpec pipeline_spec_;
   PreprocPlan plan_;
-  std::function<Result<Image>(const WorkItem&)> decode_;
+  DecodeFn decode_;
   std::shared_ptr<SimAccelerator> accel_;
 };
 

@@ -1,0 +1,61 @@
+#include "src/runtime/pipeline.h"
+
+#include <cstring>
+
+#include "src/util/stopwatch.h"
+
+namespace smol {
+
+PreprocPlan CompilePipelinePlan(const PipelineSpec& spec,
+                                bool enable_dag_opt) {
+  PipelineSpec compiled = spec;
+  compiled.allow_fusion = enable_dag_opt;
+  if (enable_dag_opt) {
+    auto optimized = PreprocOptimizer::Optimize(compiled);
+    return optimized.ok() ? optimized.value()
+                          : PreprocOptimizer::ReferencePlan(compiled);
+  }
+  return PreprocOptimizer::ReferencePlan(compiled);
+}
+
+Result<StagedSample> DecodeAndStage(const WorkItem& item,
+                                    const DecodeFn& decode,
+                                    const PreprocPlan& plan,
+                                    const PipelineSpec& spec, BufferPool& pool,
+                                    PipelineCounters& counters) {
+  Stopwatch sw;
+  auto decoded = decode(item);
+  counters.decode_us.fetch_add(static_cast<uint64_t>(sw.ElapsedMicros()));
+  if (!decoded.ok()) return decoded.status();
+  sw.Restart();
+  auto preprocessed = ExecutePlan(plan, spec, decoded.value());
+  counters.preproc_us.fetch_add(static_cast<uint64_t>(sw.ElapsedMicros()));
+  if (!preprocessed.ok()) return preprocessed.status();
+  // Copy into a pooled (possibly pinned) staging buffer. When memory reuse
+  // is on, this recycles a prior batch's buffer.
+  StagedSample out;
+  out.float_count = preprocessed->data.size();
+  out.label = item.label;
+  out.buffer = pool.Get(out.float_count * sizeof(float));
+  std::memcpy(out.buffer->data.data(), preprocessed->data.data(),
+              out.float_count * sizeof(float));
+  return out;
+}
+
+int SubmitStagedBatch(std::vector<StagedSample>& batch, SimAccelerator& accel,
+                      BufferPool& pool) {
+  if (batch.empty()) return 0;
+  size_t bytes = 0;
+  bool pinned = true;
+  for (const auto& sample : batch) {
+    bytes += sample.buffer->data.size();
+    pinned = pinned && sample.buffer->pinned;
+  }
+  const int batch_size = static_cast<int>(batch.size());
+  accel.ExecuteBatch(batch_size, bytes, pinned);
+  for (auto& sample : batch) pool.Put(std::move(sample.buffer));
+  batch.clear();
+  return batch_size;
+}
+
+}  // namespace smol

@@ -1,0 +1,79 @@
+// Shared pipeline internals of the one-shot Engine and the streaming Server.
+//
+// Both runtimes move work through the same three stages (§6.1, Appendix A):
+//
+//   decode -> preprocess (DAG-optimized plan) -> pooled (pinned) staging
+//   buffer -> coalesced batch -> simulated accelerator
+//
+// This header factors the stage bodies out so the batch runner
+// (runtime/engine.h) and the serving runtime (runtime/server.h) share one
+// implementation of plan compilation, the producer body, and the consumer
+// submit, differing only in how requests arrive and how completions are
+// reported.
+#ifndef SMOL_RUNTIME_PIPELINE_H_
+#define SMOL_RUNTIME_PIPELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/codec/image.h"
+#include "src/hw/sim_accelerator.h"
+#include "src/preproc/graph.h"
+#include "src/util/buffer_pool.h"
+#include "src/util/result.h"
+
+namespace smol {
+
+/// \brief A unit of work: one stored (encoded) image.
+///
+/// The caller owns the encoded bytes and must keep them alive until the
+/// item's result is delivered (Engine::Run returns / the Server future or
+/// callback fires).
+struct WorkItem {
+  const std::vector<uint8_t>* bytes = nullptr;  ///< encoded stream
+  int label = 0;
+  /// Optional ROI for partial decoding (empty = full decode).
+  Roi roi;
+};
+
+/// Maps an item to pixels; pluggable so the pipeline serves images
+/// (SJPG/SPNG) and video frames alike.
+using DecodeFn = std::function<Result<Image>(const WorkItem&)>;
+
+/// \brief Wall-time counters summed across producer threads.
+struct PipelineCounters {
+  std::atomic<uint64_t> decode_us{0};
+  std::atomic<uint64_t> preproc_us{0};
+};
+
+/// \brief A preprocessed sample staged in a pooled (possibly pinned) buffer.
+struct StagedSample {
+  std::unique_ptr<PooledBuffer> buffer;  ///< f32 CHW bytes
+  size_t float_count = 0;
+  int label = 0;
+};
+
+/// Compiles the preprocessing plan once (§6.2). With \p enable_dag_opt off
+/// (the Fig. 7/8 lesion) this returns the naive §2 reference ordering.
+PreprocPlan CompilePipelinePlan(const PipelineSpec& spec, bool enable_dag_opt);
+
+/// Producer body: decode \p item, execute \p plan, and copy the result into
+/// a pooled staging buffer (recycled across batches when the pool has reuse
+/// enabled). Decode/preprocess wall time is added to \p counters.
+Result<StagedSample> DecodeAndStage(const WorkItem& item,
+                                    const DecodeFn& decode,
+                                    const PreprocPlan& plan,
+                                    const PipelineSpec& spec, BufferPool& pool,
+                                    PipelineCounters& counters);
+
+/// Consumer body: submits one coalesced batch to \p accel and returns every
+/// staging buffer to \p pool. Clears \p batch; returns its size.
+int SubmitStagedBatch(std::vector<StagedSample>& batch, SimAccelerator& accel,
+                      BufferPool& pool);
+
+}  // namespace smol
+
+#endif  // SMOL_RUNTIME_PIPELINE_H_

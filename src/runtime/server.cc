@@ -1,0 +1,220 @@
+#include "src/runtime/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/cpu_features.h"
+#include "src/util/logging.h"
+
+namespace smol {
+
+namespace {
+
+std::chrono::steady_clock::duration MicrosToDuration(double micros) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::micro>(std::max(micros, 0.0)));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
+               DecodeFn decode, std::shared_ptr<SimAccelerator> accel)
+    : Server(options, pipeline_spec,
+             CompilePipelinePlan(pipeline_spec, options.engine.enable_dag_opt),
+             std::move(decode), std::move(accel)) {}
+
+Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
+               PreprocPlan plan, DecodeFn decode,
+               std::shared_ptr<SimAccelerator> accel)
+    : options_(options),
+      pipeline_spec_(pipeline_spec),
+      plan_(std::move(plan)),
+      decode_(std::move(decode)),
+      accel_(std::move(accel)),
+      pool_(BufferPool::Options{options.engine.enable_memory_reuse,
+                                options.engine.enable_pinned,
+                                /*overallocation_factor=*/1.5}),
+      admission_(static_cast<size_t>(
+          std::max(options.admission_capacity, 1))),
+      staged_(static_cast<size_t>(std::max(options.engine.queue_capacity, 1))),
+      start_time_(std::chrono::steady_clock::now()) {
+  EngineOptions& eng = options_.engine;
+  if (eng.num_producers <= 0) {
+    eng.num_producers = static_cast<int>(std::thread::hardware_concurrency());
+    if (eng.num_producers <= 0) eng.num_producers = 2;
+  }
+  if (!eng.enable_threading) eng.num_producers = 1;
+  if (eng.num_consumers <= 0) eng.num_consumers = 1;
+  if (options_.max_batch <= 0) options_.max_batch = 1;
+
+  SMOL_LOG(kInfo) << "server simd dispatch: "
+                  << SimdLevelName(ActiveSimdLevel()) << " (detected "
+                  << SimdLevelName(DetectedSimdLevel()) << ")";
+
+  producers_.reserve(static_cast<size_t>(eng.num_producers));
+  for (int i = 0; i < eng.num_producers; ++i) {
+    producers_.emplace_back([this] { ProducerLoop(); });
+  }
+  consumers_.reserve(static_cast<size_t>(eng.num_consumers));
+  for (int i = 0; i < eng.num_consumers; ++i) {
+    consumers_.emplace_back([this] { ConsumerLoop(); });
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Complete(RequestContext& ctx, InferenceReply reply) {
+  if (ctx.has_promise) {
+    ctx.promise.set_value(reply);
+    ctx.has_promise = false;
+  }
+  if (ctx.callback) {
+    ctx.callback(reply);
+    ctx.callback = nullptr;
+  }
+}
+
+std::future<InferenceReply> Server::Submit(WorkItem item) {
+  RequestContext ctx;
+  ctx.has_promise = true;
+  std::future<InferenceReply> future = ctx.promise.get_future();
+  SubmitInternal(std::move(item), std::move(ctx));
+  return future;
+}
+
+void Server::Submit(WorkItem item, Callback callback) {
+  RequestContext ctx;
+  ctx.callback = std::move(callback);
+  SubmitInternal(std::move(item), std::move(ctx));
+}
+
+void Server::SubmitInternal(WorkItem item, RequestContext ctx) {
+  ctx.submit_time = std::chrono::steady_clock::now();
+  Request request;
+  request.item = std::move(item);
+  request.ctx = std::move(ctx);
+  // The Reclaim flavours leave `request` (and its promise) intact when the
+  // push is rejected, so the reply below still reaches the caller.
+  const bool accepted = options_.overload == OverloadPolicy::kShed
+                            ? admission_.TryPushReclaim(request)
+                            : admission_.PushReclaim(request);
+  if (accepted) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  InferenceReply reply;
+  if (admission_.closed()) {
+    reply.status = Status::Cancelled("server is shut down");
+  } else {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    reply.status =
+        Status::ResourceExhausted("admission queue full: request shed");
+  }
+  reply.label = request.item.label;
+  Complete(request.ctx, reply);
+}
+
+void Server::ProducerLoop() {
+  while (auto request = admission_.Pop()) {
+    Staged staged;
+    staged.ctx = std::move(request->ctx);
+    auto sample = DecodeAndStage(request->item, decode_, plan_,
+                                 pipeline_spec_, pool_, counters_);
+    if (!sample.ok()) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      InferenceReply reply;
+      reply.status = sample.status();
+      reply.label = request->item.label;
+      Complete(staged.ctx, reply);
+      continue;
+    }
+    staged.sample = std::move(sample).MoveValue();
+    // Bounded staged queue: producers block here when consumers fall behind,
+    // which in turn fills admission and pushes back on Submit().
+    if (!staged_.Push(std::move(staged))) break;  // queue closed
+  }
+}
+
+void Server::ConsumerLoop() {
+  std::vector<Staged> batch;
+  batch.reserve(static_cast<size_t>(options_.max_batch));
+  for (;;) {
+    auto first = staged_.Pop();
+    if (!first) break;  // closed and drained
+    batch.push_back(std::move(*first));
+    // Dynamic batching: coalesce until full or the delay window expires.
+    const TimePoint deadline = std::chrono::steady_clock::now() +
+                               MicrosToDuration(options_.max_queue_delay_us);
+    while (static_cast<int>(batch.size()) < options_.max_batch) {
+      auto next = staged_.PopUntil(deadline);
+      if (!next) break;  // window expired, or closed and drained
+      batch.push_back(std::move(*next));
+    }
+    FlushBatch(batch);
+  }
+}
+
+void Server::FlushBatch(std::vector<Staged>& batch) {
+  if (batch.empty()) return;
+  std::vector<StagedSample> samples;
+  samples.reserve(batch.size());
+  for (auto& staged : batch) samples.push_back(std::move(staged.sample));
+  const int batch_size = SubmitStagedBatch(samples, *accel_, pool_);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const TimePoint now = std::chrono::steady_clock::now();
+  for (auto& staged : batch) {
+    InferenceReply reply;
+    reply.status = Status::OK();
+    reply.label = staged.sample.label;
+    reply.batch_size = batch_size;
+    reply.latency_us =
+        std::chrono::duration<double, std::micro>(now - staged.ctx.submit_time)
+            .count();
+    latency_.Record(reply.latency_us);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    Complete(staged.ctx, reply);
+  }
+  batch.clear();
+}
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  admission_.Close();
+  for (auto& t : producers_) t.join();
+  staged_.Close();
+  for (auto& t : consumers_) t.join();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.mean_batch = s.batches > 0 ? static_cast<double>(s.completed) /
+                                     static_cast<double>(s.batches)
+                               : 0.0;
+  s.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_time_)
+                       .count();
+  s.throughput_ims =
+      s.wall_seconds > 0
+          ? static_cast<double>(s.completed) / s.wall_seconds
+          : 0.0;
+  s.decode_seconds =
+      static_cast<double>(counters_.decode_us.load(std::memory_order_relaxed)) *
+      1e-6;
+  s.preprocess_seconds =
+      static_cast<double>(
+          counters_.preproc_us.load(std::memory_order_relaxed)) *
+      1e-6;
+  s.latency = latency_.TakeSnapshot();
+  s.buffer_stats = pool_.stats();
+  s.accel_stats = accel_->stats();
+  return s;
+}
+
+}  // namespace smol

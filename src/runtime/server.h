@@ -1,0 +1,177 @@
+// Streaming serving runtime with dynamic batching.
+//
+// Where the batch Engine (runtime/engine.h) runs one fixed work list to
+// completion, the Server is persistent: callers Submit() individual requests
+// (encoded image + optional ROI) and receive futures or callbacks. Inside,
+// the §6.1 pipeline keeps its shape —
+//
+//   Submit -> [admission queue] -> producers: decode + preprocess + stage
+//          -> [staged queue]    -> consumers: dynamic batcher -> accelerator
+//
+// — with two serving-specific additions:
+//
+//   Dynamic batching   A consumer starts a batch with the first staged
+//                      sample it pops, then keeps coalescing until the batch
+//                      reaches max_batch or max_queue_delay_us has elapsed,
+//                      so bursty traffic gets full batches and trickling
+//                      traffic keeps bounded latency.
+//   Backpressure       Both queues are bounded. When admission is full,
+//                      Submit either blocks (kBlock, closed-loop callers) or
+//                      completes the request immediately with
+//                      ResourceExhausted (kShed, open-loop traffic).
+//
+// Shutdown() stops admission, drains every accepted request, and joins the
+// worker threads; the destructor calls it. Every accepted request is
+// completed exactly once — by result, decode error, or shed status.
+#ifndef SMOL_RUNTIME_SERVER_H_
+#define SMOL_RUNTIME_SERVER_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/hw/sim_accelerator.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/pipeline.h"
+#include "src/util/latency_histogram.h"
+#include "src/util/mpmc_queue.h"
+#include "src/util/status.h"
+
+namespace smol {
+
+/// What to do with a Submit() when the admission queue is full.
+enum class OverloadPolicy {
+  kBlock,  ///< block the caller until space frees up (closed loop)
+  kShed,   ///< fail fast with ResourceExhausted (open loop)
+};
+
+/// \brief Server configuration: pipeline toggles + serving knobs.
+struct ServerOptions {
+  /// Pipeline toggles and thread/queue sizing, shared with the batch engine.
+  /// (batch_size is ignored here; max_batch below is the batcher's cap.)
+  EngineOptions engine;
+  int max_batch = 16;            ///< dynamic batcher: flush at this size
+  double max_queue_delay_us = 2000.0;  ///< ... or this long after batch start
+  int admission_capacity = 256;  ///< bounded admission queue (backpressure)
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+};
+
+/// \brief Completion of one Submit()ed request.
+struct InferenceReply {
+  Status status;          ///< OK, or why the request was shed / failed
+  int label = 0;          ///< the item's label, echoed through the pipeline
+  double latency_us = 0.0;  ///< submit -> completion wall time
+  int batch_size = 0;     ///< size of the coalesced batch it was served in
+  bool ok() const { return status.ok(); }
+};
+
+/// \brief Cumulative serving statistics since construction.
+struct ServerStats {
+  uint64_t submitted = 0;  ///< accepted into the pipeline
+  uint64_t completed = 0;  ///< served through the accelerator
+  uint64_t shed = 0;       ///< rejected at admission (kShed policy)
+  uint64_t failed = 0;     ///< accepted but failed (e.g. decode error)
+  uint64_t batches = 0;    ///< accelerator submissions
+  double mean_batch = 0.0;
+  double wall_seconds = 0.0;      ///< since construction
+  double throughput_ims = 0.0;    ///< completed / wall_seconds
+  double decode_seconds = 0.0;    ///< summed across producers
+  double preprocess_seconds = 0.0;
+  LatencyHistogram::Snapshot latency;  ///< submit -> completion, per request
+  BufferPoolStats buffer_stats;
+  SimAccelerator::Stats accel_stats;
+};
+
+/// \brief Persistent streaming inference server.
+class Server {
+ public:
+  using Callback = std::function<void(const InferenceReply&)>;
+
+  /// Starts the producer/consumer threads immediately; compiles the
+  /// preprocessing plan from \p pipeline_spec (§6.2).
+  Server(ServerOptions options, PipelineSpec pipeline_spec, DecodeFn decode,
+         std::shared_ptr<SimAccelerator> accel);
+
+  /// Same, but reuses \p plan instead of recompiling (the Engine wrapper
+  /// passes the plan it already compiled at construction).
+  Server(ServerOptions options, PipelineSpec pipeline_spec, PreprocPlan plan,
+         DecodeFn decode, std::shared_ptr<SimAccelerator> accel);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submits one request; the future always becomes ready (shed and failed
+  /// requests carry a non-OK status inside the reply).
+  std::future<InferenceReply> Submit(WorkItem item);
+
+  /// Callback flavour: \p callback fires exactly once, on a worker thread.
+  void Submit(WorkItem item, Callback callback);
+
+  /// Stops accepting work, drains every accepted request, joins the
+  /// workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  /// The preprocessing plan compiled at construction.
+  const PreprocPlan& plan() const { return plan_; }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// Per-request completion context: exactly one of promise/callback fires.
+  struct RequestContext {
+    std::promise<InferenceReply> promise;
+    bool has_promise = false;
+    Callback callback;
+    TimePoint submit_time;
+  };
+  struct Request {
+    WorkItem item;
+    RequestContext ctx;
+  };
+  struct Staged {
+    StagedSample sample;
+    RequestContext ctx;
+  };
+
+  void SubmitInternal(WorkItem item, RequestContext ctx);
+  static void Complete(RequestContext& ctx, InferenceReply reply);
+  void ProducerLoop();
+  void ConsumerLoop();
+  void FlushBatch(std::vector<Staged>& batch);
+
+  ServerOptions options_;
+  PipelineSpec pipeline_spec_;
+  PreprocPlan plan_;
+  DecodeFn decode_;
+  std::shared_ptr<SimAccelerator> accel_;
+
+  BufferPool pool_;
+  MpmcQueue<Request> admission_;
+  MpmcQueue<Staged> staged_;
+  std::vector<std::thread> producers_;
+  std::vector<std::thread> consumers_;
+
+  PipelineCounters counters_;
+  LatencyHistogram latency_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> batches_{0};
+  TimePoint start_time_;
+
+  std::mutex shutdown_mutex_;
+  bool stopped_ = false;  // guarded by shutdown_mutex_
+};
+
+}  // namespace smol
+
+#endif  // SMOL_RUNTIME_SERVER_H_

@@ -8,6 +8,7 @@
 #ifndef SMOL_UTIL_MPMC_QUEUE_H_
 #define SMOL_UTIL_MPMC_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -32,19 +33,25 @@ class MpmcQueue {
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
   /// Blocks until space is available; returns false if the queue was closed.
-  bool Push(T item) {
+  bool Push(T item) { return PushReclaim(item); }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool TryPush(T item) { return TryPushReclaim(item); }
+
+  /// Like Push/TryPush, but \p item is only moved from on success: when the
+  /// push fails the caller still owns it. The serving runtime relies on this
+  /// to complete rejected requests (which carry a promise) instead of
+  /// silently dropping them.
+  bool PushReclaim(T& item) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
     return true;
   }
-
-  /// Non-blocking push; returns false when full or closed.
-  bool TryPush(T item) {
+  bool TryPushReclaim(T& item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -59,6 +66,24 @@ class MpmcQueue {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocks until an item is available, the queue is closed and drained, or
+  /// \p deadline passes; returns std::nullopt in the latter two cases. The
+  /// serving runtime's dynamic batcher uses this to wait out its
+  /// max-queue-delay window while staying responsive to Close().
+  template <typename Clock, typename Duration>
+  std::optional<T> PopUntil(
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_until(lock, deadline,
+                          [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // timed out, or closed + drained
     T item = std::move(items_.front());
     items_.pop();
     lock.unlock();

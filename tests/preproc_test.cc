@@ -176,7 +176,9 @@ TEST(GraphTest, PruningDropsFloatResizeAndUnfusedPlans) {
       if (step.kind == OpKind::kConvertFloat) convert_seen = true;
       if (step.kind == OpKind::kFusedTail) fused = true;
       // P2: no resize after conversion to float.
-      if (step.kind == OpKind::kResize) EXPECT_FALSE(convert_seen);
+      if (step.kind == OpKind::kResize) {
+        EXPECT_FALSE(convert_seen);
+      }
     }
     // P3: with fusion allowed, survivors are fused.
     EXPECT_TRUE(fused);

@@ -1,0 +1,320 @@
+// Tests for the streaming serving runtime (src/runtime/server.h) and the
+// latency histogram behind ServerStats: dynamic-batch coalescing under
+// bursty vs. trickling submission, backpressure/shed admission policies,
+// clean shutdown with in-flight requests, and percentile correctness
+// against a sorted reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/codec/sjpg.h"
+#include "src/runtime/server.h"
+#include "src/util/latency_histogram.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace smol {
+namespace {
+
+using smol::testing::MakeTestImage;
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 64; ++i) {
+      const Image img = MakeTestImage(96, 96, 3, 700 + i);
+      auto encoded = SjpgEncode(img, {.quality = 85});
+      ASSERT_TRUE(encoded.ok());
+      encoded_.push_back(std::move(encoded).MoveValue());
+    }
+    spec_.input_width = 96;
+    spec_.input_height = 96;
+    spec_.resize_short_side = 72;
+    spec_.crop_width = 64;
+    spec_.crop_height = 64;
+  }
+
+  WorkItem Item(int i) const {
+    WorkItem item;
+    item.bytes = &encoded_[static_cast<size_t>(i) % encoded_.size()];
+    item.label = i;
+    return item;
+  }
+
+  static std::shared_ptr<SimAccelerator> MakeAccel(double throughput) {
+    SimAccelerator::Options opts;
+    opts.dnn_throughput_ims = throughput;
+    return std::make_shared<SimAccelerator>(opts);
+  }
+
+  static Result<Image> DecodeSjpg(const WorkItem& item) {
+    SjpgDecodeOptions opts;
+    opts.roi = item.roi;
+    return SjpgDecode(*item.bytes, opts);
+  }
+
+  std::vector<std::vector<uint8_t>> encoded_;
+  PipelineSpec spec_;
+};
+
+TEST_F(ServingTest, SubmitCompletesWithLatencyAndEchoedLabel) {
+  ServerOptions opts;
+  opts.max_batch = 8;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 32; ++i) replies.push_back(server.Submit(Item(i)));
+  for (int i = 0; i < 32; ++i) {
+    const InferenceReply r = replies[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_EQ(r.label, i);
+    EXPECT_GT(r.latency_us, 0.0);
+    EXPECT_GE(r.batch_size, 1);
+  }
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 32u);
+  EXPECT_EQ(stats.completed, 32u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.latency.p50_us, 0.0);
+  EXPECT_GT(stats.latency.p99_us, 0.0);
+  EXPECT_GE(stats.latency.p99_us, stats.latency.p50_us);
+  EXPECT_GT(stats.throughput_ims, 0.0);
+}
+
+// Bursty submission: everything is in flight at once, and the accelerator is
+// slow enough that the staged queue backs up, so the batcher must coalesce.
+TEST_F(ServingTest, BurstySubmissionCoalescesBatches) {
+  ServerOptions opts;
+  opts.max_batch = 8;
+  opts.max_queue_delay_us = 100000.0;  // generous window: size-triggered flush
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(2000.0));
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 48; ++i) replies.push_back(server.Submit(Item(i)));
+  for (auto& r : replies) ASSERT_TRUE(r.get().ok());
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 48u);
+  // Coalescing must be visible end-to-end: strictly fewer accelerator
+  // submissions than images, and at least one near-full batch.
+  EXPECT_LT(stats.batches, 48u / 2);
+  EXPECT_GE(stats.accel_stats.max_batch, 4u);
+  EXPECT_GT(stats.mean_batch, 1.5);
+}
+
+// Trickling submission: gaps between requests dwarf the coalescing window,
+// so every request must be served alone (latency-bounded flush).
+TEST_F(ServingTest, SlowSubmissionServesSingleSampleBatches) {
+  ServerOptions opts;
+  opts.max_batch = 8;
+  opts.max_queue_delay_us = 500.0;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 8; ++i) {
+    replies.push_back(server.Submit(Item(i)));
+    // Wait the request out entirely: the next one can never share its batch.
+    ASSERT_TRUE(replies.back().wait_for(std::chrono::seconds(30)) ==
+                std::future_status::ready);
+  }
+  for (auto& r : replies) EXPECT_EQ(r.get().batch_size, 1);
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.batches, 8u);
+  EXPECT_EQ(stats.accel_stats.max_batch, 1u);
+}
+
+// Shed policy: with tiny queues and a slow accelerator, an open-loop burst
+// must be partially rejected — and every rejection still completes its
+// future with ResourceExhausted.
+TEST_F(ServingTest, ShedPolicyRejectsOverload) {
+  ServerOptions opts;
+  opts.engine.num_producers = 2;  // keep in-flight capacity machine-independent
+  opts.engine.queue_capacity = 2;
+  opts.max_batch = 2;
+  opts.admission_capacity = 2;
+  opts.overload = OverloadPolicy::kShed;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(500.0));
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 64; ++i) replies.push_back(server.Submit(Item(i)));
+  server.Shutdown();
+  uint64_t ok = 0, shed = 0;
+  for (auto& reply : replies) {
+    const InferenceReply r = reply.get();  // every future must become ready
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.shed, 0u);
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.completed + stats.shed, 64u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+// Block policy: the same overload blocks the submitter instead, and every
+// request is eventually served.
+TEST_F(ServingTest, BlockPolicyCompletesEverything) {
+  ServerOptions opts;
+  opts.engine.queue_capacity = 2;
+  opts.max_batch = 4;
+  opts.admission_capacity = 2;
+  opts.overload = OverloadPolicy::kBlock;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(5000.0));
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 32; ++i) replies.push_back(server.Submit(Item(i)));
+  server.Shutdown();
+  for (auto& r : replies) EXPECT_TRUE(r.get().ok());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 32u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+// Shutdown with requests still in flight: all accepted work drains first.
+TEST_F(ServingTest, ShutdownDrainsInFlightRequests) {
+  ServerOptions opts;
+  opts.max_batch = 4;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(2000.0));
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 16; ++i) replies.push_back(server.Submit(Item(i)));
+  server.Shutdown();
+  for (auto& reply : replies) {
+    ASSERT_EQ(reply.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(reply.get().ok());
+  }
+  EXPECT_EQ(server.stats().completed, 16u);
+}
+
+TEST_F(ServingTest, SubmitAfterShutdownIsCancelled) {
+  ServerOptions opts;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  server.Shutdown();
+  const InferenceReply r = server.Submit(Item(0)).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST_F(ServingTest, CallbackFlavourFiresExactlyOncePerRequest) {
+  ServerOptions opts;
+  opts.max_batch = 4;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  std::atomic<int> fired{0};
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 24; ++i) {
+    server.Submit(Item(i), [&](const InferenceReply& reply) {
+      fired.fetch_add(1);
+      if (reply.ok()) ok.fetch_add(1);
+    });
+  }
+  server.Shutdown();  // all callbacks have fired once drained
+  EXPECT_EQ(fired.load(), 24);
+  EXPECT_EQ(ok.load(), 24);
+}
+
+TEST_F(ServingTest, DecodeErrorCompletesRequestWithFailure) {
+  const std::vector<uint8_t> garbage = {1, 2, 3, 4};
+  ServerOptions opts;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  WorkItem bad;
+  bad.bytes = &garbage;
+  auto bad_reply = server.Submit(bad);
+  auto good_reply = server.Submit(Item(1));
+  EXPECT_EQ(bad_reply.get().status.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(good_reply.get().ok());  // other traffic is unaffected
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+// --- LatencyHistogram ----------------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptySnapshotIsAllZero) {
+  LatencyHistogram hist;
+  const auto snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.p50_us, 0.0);
+  EXPECT_EQ(snap.p999_us, 0.0);
+  EXPECT_EQ(hist.PercentileUs(0.5), 0.0);
+}
+
+// Percentiles must track an exact sorted-reference quantile to within the
+// histogram's bucket resolution (<1% geometric spacing; 2.5% test budget).
+TEST(LatencyHistogramTest, PercentilesMatchSortedReference) {
+  LatencyHistogram hist;
+  Rng rng(1234);
+  std::vector<double> samples;
+  const int kSamples = 200000;
+  samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    // Log-uniform over 2 µs .. 10 s: spans 6+ decades like real tail data.
+    const double v = std::exp(rng.UniformDouble(std::log(2.0), std::log(1e7)));
+    samples.push_back(v);
+    hist.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const auto rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(kSamples))) - 1;
+    const double exact = samples[std::min(rank, samples.size() - 1)];
+    const double approx = hist.PercentileUs(q);
+    EXPECT_NEAR(approx / exact, 1.0, 0.025) << "q=" << q;
+  }
+  const auto snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kSamples));
+  EXPECT_NEAR(snap.max_us, samples.back(), samples.back() * 0.01 + 1.0);
+  EXPECT_NEAR(snap.min_us, samples.front(), 1.0);
+  EXPECT_EQ(snap.p50_us, hist.PercentileUs(0.5));
+  EXPECT_LE(snap.p50_us, snap.p90_us);
+  EXPECT_LE(snap.p90_us, snap.p99_us);
+  EXPECT_LE(snap.p99_us, snap.p999_us);
+}
+
+TEST(LatencyHistogramTest, ExtremesClampToOutermostBuckets) {
+  LatencyHistogram hist;
+  hist.Record(0.0);
+  hist.Record(-5.0);   // clamped to zero
+  hist.Record(1e12);   // clamped to the top bucket
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_LE(hist.PercentileUs(0.0), 1.0);
+  EXPECT_GE(hist.PercentileUs(1.0), 9e7);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAreAllCounted) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      Rng rng(static_cast<uint64_t>(t) + 99);
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(rng.UniformDouble(1.0, 1e6));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram hist;
+  hist.Record(100.0);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.TakeSnapshot().max_us, 0.0);
+}
+
+}  // namespace
+}  // namespace smol
