@@ -4,8 +4,9 @@
 #   ci/check.sh                          # plain build + all suites
 #   ci/check.sh --sanitize               # ASan/UBSan build, every suite
 #   ci/check.sh --werror                 # add -DSMOL_WERROR=ON (combinable)
-#   ci/check.sh --bench-smoke [out]      # bench_micro smoke -> JSON snapshot
-#                                        #   (default out: BENCH_pr3.json)
+#   ci/check.sh --bench-smoke [out]      # bench_micro + bench_serving smoke
+#                                        #   -> merged JSON snapshot
+#                                        #   (default out: BENCH_pr6.json)
 #   ci/check.sh --bench-compare OLD NEW  # fail if any benchmark in NEW
 #                                        #   regressed >15% vs OLD
 #   ci/check.sh --format                 # clang-format check (check-only)
@@ -19,7 +20,7 @@ BUILD_DIR=build
 MODE=check
 CMAKE_ARGS=()
 CTEST_ARGS=(--output-on-failure -j "${JOBS}")
-BENCH_OUT=BENCH_pr3.json
+BENCH_OUT=BENCH_pr6.json
 COMPARE_OLD=""
 COMPARE_NEW=""
 
@@ -99,11 +100,29 @@ case "${MODE}" in
     ;;
   bench-smoke)
     cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
-    cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro \
+      --target bench_serving
     "${BUILD_DIR}/bench/bench_micro" \
       --benchmark_min_time=0.1 \
-      --benchmark_out="${BENCH_OUT}" \
+      --benchmark_out="${BUILD_DIR}/bench_micro_smoke.json" \
       --benchmark_out_format=json
+    # bench_serving carries its own pass/fail (throughput + cache checks)
+    # and emits the headline rows (poisson max load, zipf cache off/on) in
+    # google-benchmark format for the same regression gate.
+    "${BUILD_DIR}/bench/bench_serving" \
+      --json "${BUILD_DIR}/bench_serving_smoke.json"
+    python3 - "${BUILD_DIR}/bench_micro_smoke.json" \
+      "${BUILD_DIR}/bench_serving_smoke.json" "${BENCH_OUT}" <<'PY'
+import json, sys
+micro, serving, out = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(micro, encoding="utf-8") as f:
+    doc = json.load(f)
+with open(serving, encoding="utf-8") as f:
+    doc["benchmarks"].extend(json.load(f)["benchmarks"])
+with open(out, "w", encoding="utf-8") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+PY
     echo "bench smoke snapshot written to ${BENCH_OUT}"
     ;;
   check)

@@ -232,7 +232,13 @@ Ycbcr420 RgbToYcbcr420(const Image& rgb) {
 }
 
 Image Ycbcr420ToRgb(const Ycbcr420& ycc) {
-  Image out(ycc.width, ycc.height, 3);
+  Image out;
+  Ycbcr420ToRgbInto(ycc, &out);
+  return out;
+}
+
+void Ycbcr420ToRgbInto(const Ycbcr420& ycc, Image* out) {
+  out->Reshape(ycc.width, ycc.height, 3);
   const int w = ycc.width;
   const int h = ycc.height;
   const int cw = ycc.chroma_width();
@@ -240,7 +246,7 @@ Image Ycbcr420ToRgb(const Ycbcr420& ycc) {
   const bool avx2 = simd::Avx2();
 #endif
   for (int y = 0; y < h; ++y) {
-    uint8_t* dst = out.row(y);
+    uint8_t* dst = out->row(y);
     const int cy = y / 2;
     const uint8_t* yp = ycc.y.data() + static_cast<size_t>(y) * w;
     const uint8_t* cbp = ycc.cb.data() + static_cast<size_t>(cy) * cw;
@@ -256,7 +262,6 @@ Image Ycbcr420ToRgb(const Ycbcr420& ycc) {
                dst + x * 3 + 2);
     }
   }
-  return out;
 }
 
 }  // namespace smol

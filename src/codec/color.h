@@ -31,6 +31,10 @@ Ycbcr420 RgbToYcbcr420(const Image& rgb);
 /// upsampling (nearest within the 2x2 quad; matches common fast decoders).
 Image Ycbcr420ToRgb(const Ycbcr420& ycc);
 
+/// Same conversion writing into \p out (reshaped as needed, storage reused
+/// across calls — the allocation-free form the decode-into path uses).
+void Ycbcr420ToRgbInto(const Ycbcr420& ycc, Image* out);
+
 /// Scalar conversions (full-range BT.601 integer approximation).
 inline void RgbToYcc(uint8_t r, uint8_t g, uint8_t b, uint8_t* y, uint8_t* cb,
                      uint8_t* cr) {

@@ -2,22 +2,33 @@
 
 #include <cmath>
 
+#include "src/util/macros.h"
+
 namespace smol {
 
 Result<Image> CropImage(const Image& src, const Roi& roi) {
+  Image out;
+  SMOL_RETURN_IF_ERROR(CropImageInto(src, roi, &out));
+  return out;
+}
+
+Status CropImageInto(const Image& src, const Roi& roi, Image* out) {
+  if (out == nullptr || out == &src) {
+    return Status::InvalidArgument("bad crop destination");
+  }
   if (roi.empty()) return Status::InvalidArgument("empty ROI");
   if (roi.x < 0 || roi.y < 0 || roi.x + roi.width > src.width() ||
       roi.y + roi.height > src.height()) {
     return Status::OutOfRange("ROI exceeds image bounds");
   }
-  Image out(roi.width, roi.height, src.channels());
+  out->Reshape(roi.width, roi.height, src.channels());
   const size_t row_bytes = static_cast<size_t>(roi.width) * src.channels();
   for (int y = 0; y < roi.height; ++y) {
     const uint8_t* src_px =
         src.row(roi.y + y) + static_cast<size_t>(roi.x) * src.channels();
-    std::memcpy(out.row(y), src_px, row_bytes);
+    std::memcpy(out->row(y), src_px, row_bytes);
   }
-  return out;
+  return Status::OK();
 }
 
 Result<double> Psnr(const Image& a, const Image& b) {

@@ -23,6 +23,17 @@ class Image {
       : width_(width), height_(height), channels_(channels),
         data_(static_cast<size_t>(width) * height * channels, 0) {}
 
+  /// Re-shapes in place, reusing the existing allocation when capacity
+  /// allows. Pixel contents are unspecified afterwards (callers overwrite);
+  /// this is the recycling primitive the zero-copy decode/preproc paths use
+  /// to avoid per-image allocations in steady state.
+  void Reshape(int width, int height, int channels) {
+    width_ = width;
+    height_ = height;
+    channels_ = channels;
+    data_.resize(static_cast<size_t>(width) * height * channels);
+  }
+
   int width() const { return width_; }
   int height() const { return height_; }
   int channels() const { return channels_; }
@@ -87,6 +98,11 @@ struct Roi {
 
 /// Copies the \p roi rectangle of \p src into a new image.
 Result<Image> CropImage(const Image& src, const Roi& roi);
+
+/// Copies the \p roi rectangle of \p src into \p out, reusing \p out's
+/// storage (no allocation when its capacity suffices). \p out must not alias
+/// \p src.
+Status CropImageInto(const Image& src, const Roi& roi, Image* out);
 
 /// Peak signal-to-noise ratio between two same-shaped images, in dB.
 /// Returns +inf (1e9) for identical images.

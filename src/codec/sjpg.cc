@@ -274,9 +274,9 @@ namespace {
 
 // Multi-resolution decode path: full entropy decode, scaled inverse
 // transforms (n = 8 / scale_denom per block side), output at 1/denom size.
-Result<Image> DecodeScaled(const ParsedStream& ps,
-                           const std::vector<uint8_t>& bytes, int denom,
-                           SjpgDecodeStats* stats) {
+// Emits into *out, reusing its storage.
+Status DecodeScaled(const ParsedStream& ps, const std::vector<uint8_t>& bytes,
+                    int denom, Image* out, SjpgDecodeStats* stats) {
   const SjpgHeader& hdr = ps.header;
   const bool color = hdr.channels == 3;
   const int n = 8 / denom;  // scaled block side
@@ -334,7 +334,9 @@ Result<Image> DecodeScaled(const ParsedStream& ps,
     if (stats != nullptr) stats->mcu_rows_decoded++;
   }
 
-  Image full_grid;
+  // When the MCU grid already matches the output size, emit straight into
+  // *out — no full-grid intermediate, no crop copy.
+  const bool exact = planes.w == out_w && planes.h == out_h;
   if (color) {
     Ycbcr420 ycc;
     ycc.width = planes.w;
@@ -342,12 +344,22 @@ Result<Image> DecodeScaled(const ParsedStream& ps,
     ycc.y = std::move(planes.y);
     ycc.cb = std::move(planes.cb);
     ycc.cr = std::move(planes.cr);
-    full_grid = Ycbcr420ToRgb(ycc);
-  } else {
-    full_grid = Image(planes.w, planes.h, 1);
-    std::memcpy(full_grid.data(), planes.y.data(), planes.y.size());
+    if (exact) {
+      Ycbcr420ToRgbInto(ycc, out);
+      return Status::OK();
+    }
+    Image full_grid;
+    Ycbcr420ToRgbInto(ycc, &full_grid);
+    return CropImageInto(full_grid, Roi{0, 0, out_w, out_h}, out);
   }
-  return CropImage(full_grid, Roi{0, 0, out_w, out_h});
+  if (exact) {
+    out->Reshape(planes.w, planes.h, 1);
+    std::memcpy(out->data(), planes.y.data(), planes.y.size());
+    return Status::OK();
+  }
+  Image full_grid(planes.w, planes.h, 1);
+  std::memcpy(full_grid.data(), planes.y.data(), planes.y.size());
+  return CropImageInto(full_grid, Roi{0, 0, out_w, out_h}, out);
 }
 
 }  // namespace
@@ -355,6 +367,15 @@ Result<Image> DecodeScaled(const ParsedStream& ps,
 Result<Image> SjpgDecode(const std::vector<uint8_t>& bytes,
                          const SjpgDecodeOptions& options,
                          SjpgDecodeStats* stats) {
+  Image out;
+  SMOL_RETURN_IF_ERROR(SjpgDecodeInto(bytes, options, &out, stats));
+  return out;
+}
+
+Status SjpgDecodeInto(const std::vector<uint8_t>& bytes,
+                      const SjpgDecodeOptions& options, Image* out,
+                      SjpgDecodeStats* stats) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
   SMOL_ASSIGN_OR_RETURN(ParsedStream ps, ParseStream(bytes));
   const SjpgHeader& hdr = ps.header;
   const bool color = hdr.channels == 3;
@@ -369,7 +390,7 @@ Result<Image> SjpgDecode(const std::vector<uint8_t>& bytes,
       return Status::InvalidArgument(
           "scaled decoding cannot be combined with ROI/early stop");
     }
-    return DecodeScaled(ps, bytes, options.scale_denom, stats);
+    return DecodeScaled(ps, bytes, options.scale_denom, out, stats);
   }
 
   // Determine the band of MCU rows/cols to decode.
@@ -445,7 +466,14 @@ Result<Image> SjpgDecode(const std::vector<uint8_t>& bytes,
   }
 
   // Colorspace conversion for the decoded band, then exact crop to the ROI.
-  Image band;
+  // When the ROI's MCU coverage is exact (aligned ROI or dimensions that are
+  // a multiple of the MCU size), the band IS the output: convert straight
+  // into *out instead of materializing the band and copying it (the seed's
+  // CropImage here was a full-image copy for every aligned decode).
+  const Roi band_roi{roi.x - mc0 * mcu, roi.y - mr0 * mcu, roi.width,
+                     roi.height};
+  const bool exact = band_roi.x == 0 && band_roi.y == 0 &&
+                     band_roi.width == band_w && band_roi.height == band_h;
   if (color) {
     Ycbcr420 ycc;
     ycc.width = band_w;
@@ -453,14 +481,22 @@ Result<Image> SjpgDecode(const std::vector<uint8_t>& bytes,
     ycc.y = std::move(planes.y);
     ycc.cb = std::move(planes.cb);
     ycc.cr = std::move(planes.cr);
-    band = Ycbcr420ToRgb(ycc);
-  } else {
-    band = Image(band_w, band_h, 1);
-    std::memcpy(band.data(), planes.y.data(), planes.y.size());
+    if (exact) {
+      Ycbcr420ToRgbInto(ycc, out);
+      return Status::OK();
+    }
+    Image band;
+    Ycbcr420ToRgbInto(ycc, &band);
+    return CropImageInto(band, band_roi, out);
   }
-  const Roi band_roi{roi.x - mc0 * mcu, roi.y - mr0 * mcu, roi.width,
-                     roi.height};
-  return CropImage(band, band_roi);
+  if (exact) {
+    out->Reshape(band_w, band_h, 1);
+    std::memcpy(out->data(), planes.y.data(), planes.y.size());
+    return Status::OK();
+  }
+  Image band(band_w, band_h, 1);
+  std::memcpy(band.data(), planes.y.data(), planes.y.size());
+  return CropImageInto(band, band_roi, out);
 }
 
 }  // namespace smol

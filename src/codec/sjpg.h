@@ -79,6 +79,14 @@ Result<Image> SjpgDecode(const std::vector<uint8_t>& bytes,
                          const SjpgDecodeOptions& options = {},
                          SjpgDecodeStats* stats = nullptr);
 
+/// Same decode emitting into \p out, whose storage is reused across calls
+/// (the serving path decodes every frame into one per-thread scratch image).
+/// Aligned full-band decodes convert colorspace straight into \p out with no
+/// band intermediate or crop copy.
+Status SjpgDecodeInto(const std::vector<uint8_t>& bytes,
+                      const SjpgDecodeOptions& options, Image* out,
+                      SjpgDecodeStats* stats = nullptr);
+
 }  // namespace smol
 
 #endif  // SMOL_CODEC_SJPG_H_

@@ -18,10 +18,11 @@ void SimAccelerator::SleepModeled(double modeled_seconds) {
 }
 
 void SimAccelerator::ExecuteBatch(int batch_size, size_t input_bytes,
-                                  bool pinned) {
+                                  bool pinned, int chunks) {
   if (batch_size <= 0) return;
+  if (chunks < 1) chunks = 1;
   const double transfer_s =
-      options_.transfer.TransferMicros(input_bytes, pinned) * 1e-6;
+      options_.transfer.GatherMicros(input_bytes, chunks, pinned) * 1e-6;
   double compute_s =
       static_cast<double>(batch_size) / options_.dnn_throughput_ims;
   if (options_.gpu_preproc_throughput_ims > 0.0) {
@@ -53,6 +54,8 @@ void SimAccelerator::ExecuteBatch(int batch_size, size_t input_bytes,
   stats_.images += static_cast<uint64_t>(batch_size);
   stats_.max_batch =
       std::max(stats_.max_batch, static_cast<uint64_t>(batch_size));
+  stats_.bytes += static_cast<uint64_t>(input_bytes);
+  stats_.chunks += static_cast<uint64_t>(chunks);
   stats_.compute_seconds += compute_s;
   stats_.transfer_seconds += transfer_s;
 }

@@ -41,14 +41,19 @@ class SimAccelerator {
   explicit SimAccelerator(Options options);
 
   /// Executes one batch: charges transfer (overlappable) + compute time.
-  /// Blocks the calling thread for the modelled duration.
-  void ExecuteBatch(int batch_size, size_t input_bytes, bool pinned);
+  /// Blocks the calling thread for the modelled duration. \p chunks is the
+  /// scatter-gather descriptor count of the submission (1 = contiguous;
+  /// the zero-copy runtime submits one chunk per pooled sample buffer).
+  void ExecuteBatch(int batch_size, size_t input_bytes, bool pinned,
+                    int chunks = 1);
 
   /// Cumulative counters.
   struct Stats {
     uint64_t batches = 0;
     uint64_t images = 0;
     uint64_t max_batch = 0;         // largest single batch submitted
+    uint64_t bytes = 0;             // total input bytes transferred
+    uint64_t chunks = 0;            // total scatter-gather descriptors
     double compute_seconds = 0.0;   // modelled device-busy time
     double transfer_seconds = 0.0;  // modelled DMA time
   };

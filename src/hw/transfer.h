@@ -23,11 +23,26 @@ struct TransferModel {
   double latency_us = 10.0;
   /// Extra per-transfer cost for pageable staging, microseconds.
   double pageable_extra_us = 25.0;
+  /// Per-descriptor cost of a scatter-gather DMA beyond the first chunk,
+  /// microseconds. Pinned per-sample buffers submitted as one batch form an
+  /// N-entry gather list: each extra descriptor costs ring-programming time,
+  /// but far less than a full per-transfer latency — which is why gathering
+  /// from pooled buffers beats N separate transfers AND beats copying
+  /// everything into one contiguous staging buffer first.
+  double sg_chunk_us = 0.4;
 
   /// Time to move \p bytes host-to-device, in microseconds.
   double TransferMicros(size_t bytes, bool pinned) const {
+    return GatherMicros(bytes, 1, pinned);
+  }
+
+  /// Time to move \p bytes host-to-device as a scatter-gather list of
+  /// \p chunks descriptors, in microseconds. chunks <= 1 degrades to a
+  /// single contiguous transfer.
+  double GatherMicros(size_t bytes, int chunks, bool pinned) const {
     const double gbps = pinned ? pinned_gbps : pageable_gbps;
     double us = latency_us + static_cast<double>(bytes) / (gbps * 1e3);
+    if (chunks > 1) us += sg_chunk_us * (chunks - 1);
     if (!pinned) us += pageable_extra_us;
     return us;
   }

@@ -22,6 +22,15 @@ Status FusedConvertNormalizeSplitInto(const Image& src,
                                       const NormalizeParams& params,
                                       float* dst, size_t dst_size);
 
+/// Crop-fused variant: reads only the \p roi window of \p src (row-strided)
+/// and writes its f32 CHW tensor into \p dst — a trailing center crop folds
+/// into the tail instead of materializing a cropped u8 image first. \p dst
+/// must hold roi.width * roi.height * channels floats. Bitwise-identical to
+/// CropImage(src, roi) followed by FusedConvertNormalizeSplitInto.
+Status FusedConvertNormalizeSplitRoiInto(const Image& src, const Roi& roi,
+                                         const NormalizeParams& params,
+                                         float* dst, size_t dst_size);
+
 }  // namespace smol
 
 #endif  // SMOL_PREPROC_FUSED_H_

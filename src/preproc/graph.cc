@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/preproc/fused.h"
+#include "src/preproc/resize.h"
 #include "src/util/macros.h"
 
 namespace smol {
@@ -340,6 +341,230 @@ Result<FloatImage> ExecutePlan(const PreprocPlan& plan,
   }
   if (!in_float) return Status::Internal("plan produced no float output");
   return f32;
+}
+
+Result<size_t> PlanOutputFloats(const PreprocPlan& plan,
+                                const PipelineSpec& spec, int width,
+                                int height, int channels) {
+  if (width <= 0 || height <= 0 || channels <= 0) {
+    return Status::InvalidArgument("bad input geometry");
+  }
+  int w = width;
+  int h = height;
+  for (const PlanStep& step : plan.steps) {
+    switch (step.kind) {
+      case OpKind::kResize: {
+        if (step.arg0 <= 0) return Status::InvalidArgument("bad resize target");
+        if (step.arg1 > 0) {
+          w = step.arg0;
+          h = step.arg1;
+        } else {
+          const int cur_short = std::min(w, h);
+          const double scale =
+              static_cast<double>(step.arg0) / std::max(1, cur_short);
+          w = std::max(1, static_cast<int>(std::lround(w * scale)));
+          h = std::max(1, static_cast<int>(std::lround(h * scale)));
+        }
+        break;
+      }
+      case OpKind::kCrop: {
+        int cw = step.arg0;
+        int ch = step.arg1;
+        if (cw == -1) {
+          const int short_side = std::min(w, h);
+          cw = std::max(
+              1, static_cast<int>(std::lround(
+                     short_side * static_cast<double>(spec.crop_width) /
+                     spec.resize_short_side)));
+          ch = std::max(
+              1, static_cast<int>(std::lround(
+                     short_side * static_cast<double>(spec.crop_height) /
+                     spec.resize_short_side)));
+        }
+        w = std::min(w, cw);
+        h = std::min(h, ch);
+        break;
+      }
+      default:
+        break;  // dtype/layout ops leave geometry unchanged
+    }
+  }
+  return static_cast<size_t>(w) * static_cast<size_t>(h) *
+         static_cast<size_t>(channels);
+}
+
+Result<size_t> ExecutePlanInto(const PreprocPlan& plan,
+                               const PipelineSpec& spec, const Image& decoded,
+                               PreprocScratch& scratch, float* dst,
+                               size_t dst_floats) {
+  if (dst == nullptr) return Status::InvalidArgument("null destination");
+  // State: a *borrowed* u8 image — initially the caller's decoded frame, so
+  // unlike ExecutePlan there is no entry copy — or a float image living in
+  // one of the ping-pong scratch slots. The write target of each step always
+  // differs from the borrowed source (decoded -> slot A -> slot B -> A ...),
+  // so in-place hazards cannot arise.
+  const Image* u8 = &decoded;
+  Image* u8_slots[2] = {&scratch.u8_a, &scratch.u8_b};
+  int u8_next = 0;
+  FloatImage* f32 = nullptr;
+  FloatImage* f32_slots[2] = {&scratch.f32_a, &scratch.f32_b};
+  int f32_next = 0;
+  bool in_float = false;
+  for (size_t si = 0; si < plan.steps.size(); ++si) {
+    const PlanStep& step = plan.steps[si];
+    const bool is_last = si + 1 == plan.steps.size();
+    switch (step.kind) {
+      case OpKind::kDecode:
+        break;  // caller already decoded
+      case OpKind::kResize: {
+        if (in_float) {
+          int out_w = step.arg0;
+          int out_h = step.arg1;
+          if (out_h <= 0) {
+            const int cur_short = std::min(f32->width, f32->height);
+            const double scale =
+                static_cast<double>(step.arg0) / std::max(1, cur_short);
+            out_w = std::max(
+                1, static_cast<int>(std::lround(f32->width * scale)));
+            out_h = std::max(
+                1, static_cast<int>(std::lround(f32->height * scale)));
+          }
+          SMOL_ASSIGN_OR_RETURN(*f32_slots[f32_next],
+                                ResizeF32(*f32, out_w, out_h));
+          f32 = f32_slots[f32_next];
+          f32_next ^= 1;
+        } else {
+          if (u8->empty()) return Status::InvalidArgument("empty image");
+          if (step.arg0 <= 0) {
+            return Status::InvalidArgument("bad resize target");
+          }
+          int out_w = step.arg0;
+          int out_h = step.arg1;
+          if (out_h <= 0) {
+            const int cur_short = std::min(u8->width(), u8->height());
+            const double scale =
+                static_cast<double>(step.arg0) / std::max(1, cur_short);
+            out_w = std::max(
+                1, static_cast<int>(std::lround(u8->width() * scale)));
+            out_h = std::max(
+                1, static_cast<int>(std::lround(u8->height() * scale)));
+          }
+          if (out_w == u8->width() && out_h == u8->height()) {
+            break;  // no-op resize: keep borrowing, no copy
+          }
+          Image* slot = u8_slots[u8_next];
+          ResizeBilinearInto(*u8, out_w, out_h, slot);
+          u8 = slot;
+          u8_next ^= 1;
+        }
+        break;
+      }
+      case OpKind::kCrop: {
+        int cw = step.arg0;
+        int ch = step.arg1;
+        if (cw == -1) {
+          // Scaled crop for the crop-before-resize ordering.
+          const int short_side = in_float
+                                     ? std::min(f32->width, f32->height)
+                                     : std::min(u8->width(), u8->height());
+          cw = std::max(
+              1, static_cast<int>(std::lround(
+                     short_side * static_cast<double>(spec.crop_width) /
+                     spec.resize_short_side)));
+          ch = std::max(
+              1, static_cast<int>(std::lround(
+                     short_side * static_cast<double>(spec.crop_height) /
+                     spec.resize_short_side)));
+        }
+        if (in_float) {
+          const Roi roi = Roi::CenterCrop(f32->width, f32->height, cw, ch);
+          SMOL_ASSIGN_OR_RETURN(*f32_slots[f32_next], CropF32(*f32, roi));
+          f32 = f32_slots[f32_next];
+          f32_next ^= 1;
+        } else {
+          if (u8->empty()) return Status::InvalidArgument("empty image");
+          const Roi roi =
+              Roi::CenterCrop(u8->width(), u8->height(),
+                              std::min(cw, u8->width()),
+                              std::min(ch, u8->height()));
+          if (si + 2 == plan.steps.size() &&
+              plan.steps[si + 1].kind == OpKind::kFusedTail) {
+            // Crop feeding a terminal fused tail: run the crop-windowed tail
+            // straight into the destination; the cropped u8 image is never
+            // materialized.
+            const size_t count = static_cast<size_t>(roi.width) * roi.height *
+                                 u8->channels();
+            if (dst_floats < count) {
+              return Status::InvalidArgument("destination too small");
+            }
+            SMOL_RETURN_IF_ERROR(FusedConvertNormalizeSplitRoiInto(
+                *u8, roi, spec.normalize, dst, dst_floats));
+            return count;
+          }
+          Image* slot = u8_slots[u8_next];
+          SMOL_RETURN_IF_ERROR(CropImageInto(*u8, roi, slot));
+          u8 = slot;
+          u8_next ^= 1;
+        }
+        break;
+      }
+      case OpKind::kConvertFloat: {
+        if (in_float) return Status::Internal("double conversion in plan");
+        SMOL_RETURN_IF_ERROR(ConvertToFloatInto(*u8, f32_slots[f32_next]));
+        f32 = f32_slots[f32_next];
+        f32_next ^= 1;
+        in_float = true;
+        break;
+      }
+      case OpKind::kNormalize: {
+        if (!in_float) return Status::Internal("normalize before convert");
+        SMOL_RETURN_IF_ERROR(Normalize(f32, spec.normalize));
+        break;
+      }
+      case OpKind::kChannelSplit: {
+        if (!in_float) return Status::Internal("split before convert");
+        if (is_last) {
+          const size_t count = f32->data.size();
+          if (dst_floats < count) {
+            return Status::InvalidArgument("destination too small");
+          }
+          SMOL_RETURN_IF_ERROR(ChannelSplitInto(*f32, dst, dst_floats));
+          return count;
+        }
+        SMOL_ASSIGN_OR_RETURN(*f32_slots[f32_next], ChannelSplit(*f32));
+        f32 = f32_slots[f32_next];
+        f32_next ^= 1;
+        break;
+      }
+      case OpKind::kFusedTail: {
+        if (in_float) return Status::Internal("fused tail on float input");
+        if (is_last) {
+          const size_t count = u8->size_bytes();
+          if (dst_floats < count) {
+            return Status::InvalidArgument("destination too small");
+          }
+          SMOL_RETURN_IF_ERROR(FusedConvertNormalizeSplitInto(
+              *u8, spec.normalize, dst, dst_floats));
+          return count;
+        }
+        SMOL_RETURN_IF_ERROR(FusedConvertNormalizeSplit(*u8, spec.normalize,
+                                                        f32_slots[f32_next]));
+        f32 = f32_slots[f32_next];
+        f32_next ^= 1;
+        in_float = true;
+        break;
+      }
+    }
+  }
+  if (!in_float) return Status::Internal("plan produced no float output");
+  // Plan ended on a non-materializing float op (not produced by the
+  // enumerator, but legal): copy the final tensor out.
+  const size_t count = f32->data.size();
+  if (dst_floats < count) {
+    return Status::InvalidArgument("destination too small");
+  }
+  std::copy(f32->data.begin(), f32->data.end(), dst);
+  return count;
 }
 
 }  // namespace smol

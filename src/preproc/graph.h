@@ -88,6 +88,35 @@ class PreprocOptimizer {
 Result<FloatImage> ExecutePlan(const PreprocPlan& plan,
                                const PipelineSpec& spec, const Image& decoded);
 
+/// \brief Reusable intermediates for ExecutePlanInto.
+///
+/// One instance per producer thread: the ping-pong slots keep their
+/// allocations across calls, so the steady-state preprocessing path performs
+/// no per-sample heap allocation for u8 intermediates.
+struct PreprocScratch {
+  Image u8_a, u8_b;
+  FloatImage f32_a, f32_b;
+};
+
+/// Output element count of \p plan for a decoded image of the given shape
+/// (pure geometry walk; matches what ExecutePlan/ExecutePlanInto produce).
+/// Callers use it to size the pooled staging buffer before executing.
+Result<size_t> PlanOutputFloats(const PreprocPlan& plan,
+                                const PipelineSpec& spec, int width,
+                                int height, int channels);
+
+/// Zero-copy ExecutePlan (§6.1): runs \p plan on \p decoded writing the final
+/// f32 CHW tensor directly into \p dst (capacity \p dst_floats) — the plan's
+/// terminal fused-tail / channel-split op IS the write into the destination,
+/// so no separate staging copy of the output tensor ever exists. A trailing
+/// u8 center-crop followed by the fused tail is additionally collapsed into
+/// one crop-windowed tail pass (the cropped image is never materialized).
+/// Numerically identical to ExecutePlan. Returns the float count written.
+Result<size_t> ExecutePlanInto(const PreprocPlan& plan,
+                               const PipelineSpec& spec, const Image& decoded,
+                               PreprocScratch& scratch, float* dst,
+                               size_t dst_floats);
+
 }  // namespace smol
 
 #endif  // SMOL_PREPROC_GRAPH_H_

@@ -61,18 +61,24 @@ Result<Image> CenterCrop(const Image& src, int crop_w, int crop_h) {
 }
 
 Result<FloatImage> ConvertToFloat(const Image& src) {
-  if (src.empty()) return Status::InvalidArgument("empty image");
   FloatImage out;
-  out.width = src.width();
-  out.height = src.height();
-  out.channels = src.channels();
-  out.chw = false;
-  out.data.resize(src.size_bytes());
-  const uint8_t* p = src.data();
-  for (size_t i = 0; i < out.data.size(); ++i) {
-    out.data[i] = static_cast<float>(p[i]) * (1.0f / 255.0f);
-  }
+  SMOL_RETURN_IF_ERROR(ConvertToFloatInto(src, &out));
   return out;
+}
+
+Status ConvertToFloatInto(const Image& src, FloatImage* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  if (src.empty()) return Status::InvalidArgument("empty image");
+  out->width = src.width();
+  out->height = src.height();
+  out->channels = src.channels();
+  out->chw = false;
+  out->data.resize(src.size_bytes());
+  const uint8_t* p = src.data();
+  for (size_t i = 0; i < out->data.size(); ++i) {
+    out->data[i] = static_cast<float>(p[i]) * (1.0f / 255.0f);
+  }
+  return Status::OK();
 }
 
 Status Normalize(FloatImage* img, const NormalizeParams& params) {
@@ -115,14 +121,26 @@ Result<FloatImage> ChannelSplit(const FloatImage& src) {
   out.channels = src.channels;
   out.chw = true;
   out.data.resize(src.data.size());
+  SMOL_RETURN_IF_ERROR(ChannelSplitInto(src, out.data.data(), out.data.size()));
+  return out;
+}
+
+Status ChannelSplitInto(const FloatImage& src, float* dst, size_t dst_size) {
+  if (src.data.empty()) return Status::InvalidArgument("empty float image");
+  if (dst == nullptr || dst_size < src.data.size()) {
+    return Status::InvalidArgument("destination too small");
+  }
+  if (src.chw) {  // already planar: plain copy into the staging slot
+    std::copy(src.data.begin(), src.data.end(), dst);
+    return Status::OK();
+  }
   const size_t pixels = static_cast<size_t>(src.width) * src.height;
   for (size_t i = 0; i < pixels; ++i) {
     for (int c = 0; c < src.channels; ++c) {
-      out.data[static_cast<size_t>(c) * pixels + i] =
-          src.data[i * src.channels + c];
+      dst[static_cast<size_t>(c) * pixels + i] = src.data[i * src.channels + c];
     }
   }
-  return out;
+  return Status::OK();
 }
 
 Result<FloatImage> ResizeF32(const FloatImage& src, int out_w, int out_h) {

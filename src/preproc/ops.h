@@ -66,11 +66,20 @@ Result<Image> CenterCrop(const Image& src, int crop_w, int crop_h);
 /// u8 HWC -> f32 HWC scaled to [0, 1].
 Result<FloatImage> ConvertToFloat(const Image& src);
 
+/// Same conversion into \p out, reusing its storage across calls (the
+/// allocation-free form the zero-copy plan executor uses).
+Status ConvertToFloatInto(const Image& src, FloatImage* out);
+
 /// Per-channel normalization in place (layout preserved).
 Status Normalize(FloatImage* img, const NormalizeParams& params);
 
 /// HWC -> CHW split (f32).
 Result<FloatImage> ChannelSplit(const FloatImage& src);
+
+/// HWC -> CHW split writing into a caller-provided buffer of \p dst_size
+/// floats (a pooled pinned staging slot in the zero-copy serving path).
+/// Also accepts an already-CHW source, which degrades to a copy.
+Status ChannelSplitInto(const FloatImage& src, float* dst, size_t dst_size);
 
 /// Resize on u8 data then the rest of the pipeline runs on fewer pixels —
 /// this ordering is what rule "resizing is cheaper with smaller data types /

@@ -226,8 +226,18 @@ SMOL_TARGET_AVX2 void HLerpF32Avx2(const float* vrow, const Taps& tx,
 
 Image ResizeBilinear(const Image& src, int out_w, int out_h) {
   if (src.width() == out_w && src.height() == out_h) return src;
-  Image out(out_w, out_h, src.channels());
+  Image out;
+  ResizeBilinearInto(src, out_w, out_h, &out);
+  return out;
+}
+
+void ResizeBilinearInto(const Image& src, int out_w, int out_h, Image* dst) {
   const int c = src.channels();
+  dst->Reshape(out_w, out_h, c);
+  if (src.width() == out_w && src.height() == out_h) {
+    std::memcpy(dst->data(), src.data(), src.size_bytes());
+    return;
+  }
   const int row_elems = src.width() * c;
   const Taps tx = MakeTaps(src.width(), out_w, c);
   const Taps ty = MakeTaps(src.height(), out_h, 1);
@@ -243,19 +253,18 @@ Image ResizeBilinear(const Image& src, int out_w, int out_h) {
 #if SMOL_SIMD_X86
     if (avx2) {
       VBlendU8Avx2(r0, r1, wy, row_elems, vrow.data());
-      HLerpU8Avx2(vrow.data(), tx, out_w, c, out.row(y));
+      HLerpU8Avx2(vrow.data(), tx, out_w, c, dst->row(y));
       continue;
     }
     if (sse4) {
       VBlendU8Sse4(r0, r1, wy, row_elems, vrow.data());
-      HLerpU8Scalar(vrow.data(), tx, out_w, c, out.row(y));
+      HLerpU8Scalar(vrow.data(), tx, out_w, c, dst->row(y));
       continue;
     }
 #endif
     VBlendU8Scalar(r0, r1, wy, row_elems, vrow.data());
-    HLerpU8Scalar(vrow.data(), tx, out_w, c, out.row(y));
+    HLerpU8Scalar(vrow.data(), tx, out_w, c, dst->row(y));
   }
-  return out;
 }
 
 namespace internal {

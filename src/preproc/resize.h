@@ -16,6 +16,11 @@ namespace smol {
 /// size already matches. Half-pixel centers; edge taps clamp.
 Image ResizeBilinear(const Image& src, int out_w, int out_h);
 
+/// Same kernel writing into \p dst, whose storage is reused across calls
+/// (no allocation when its capacity suffices). \p dst must not alias \p src.
+/// Matching sizes degrade to a copy into \p dst.
+void ResizeBilinearInto(const Image& src, int out_w, int out_h, Image* dst);
+
 namespace internal {
 
 /// f32 HWC resize core (used by ResizeF32 in ops.cc). \p dst must hold

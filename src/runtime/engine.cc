@@ -12,6 +12,11 @@ namespace smol {
 
 Engine::Engine(EngineOptions options, PipelineSpec pipeline_spec,
                DecodeFn decode, std::shared_ptr<SimAccelerator> accel)
+    : Engine(options, pipeline_spec, AdaptDecodeFn(std::move(decode)),
+             std::move(accel)) {}
+
+Engine::Engine(EngineOptions options, PipelineSpec pipeline_spec,
+               DecodeIntoFn decode, std::shared_ptr<SimAccelerator> accel)
     : options_(options),
       pipeline_spec_(pipeline_spec),
       decode_(std::move(decode)),
@@ -76,6 +81,7 @@ Result<EngineStats> Engine::Run(const std::vector<WorkItem>& items) {
   stats.preprocess_seconds = server_stats.preprocess_seconds;
   stats.buffer_stats = server_stats.buffer_stats;
   stats.accel_stats = server_stats.accel_stats;
+  stats.tensor_cache = server_stats.tensor_cache;
   return stats;
 }
 

@@ -35,6 +35,13 @@ struct EngineOptions {
   bool enable_memory_reuse = true;
   bool enable_pinned = true;
   bool enable_dag_opt = true;
+  /// Content-addressed cache of preprocessed tensors (util/tensor_cache.h):
+  /// repeated content skips decode + preprocessing and stages the cached
+  /// bytes with no copy. Off by default — it only pays for workloads with
+  /// repeated content, and it trades memory for compute.
+  bool enable_tensor_cache = false;
+  size_t tensor_cache_bytes = 64ull << 20;  ///< cache byte budget
+  int tensor_cache_shards = 8;              ///< cache concurrency sharding
 
   int num_producers = 0;   ///< 0 = hardware concurrency (§6.1 heuristic)
   int num_consumers = 2;   ///< CUDA-stream analogues
@@ -51,6 +58,7 @@ struct EngineStats {
   double preprocess_seconds = 0.0;  // summed across producers
   BufferPoolStats buffer_stats;
   SimAccelerator::Stats accel_stats;
+  TensorCacheStats tensor_cache;  // zeros unless enable_tensor_cache
 };
 
 /// \brief The pipelined inference engine.
@@ -62,6 +70,11 @@ class Engine {
   /// \p decode maps an item to pixels; \p accel models the DNN device.
   Engine(EngineOptions options, PipelineSpec pipeline_spec, DecodeFn decode,
          std::shared_ptr<SimAccelerator> accel);
+
+  /// Allocation-free decode flavour: \p decode emits into a per-producer
+  /// scratch image reused across items (e.g. wraps SjpgDecodeInto).
+  Engine(EngineOptions options, PipelineSpec pipeline_spec,
+         DecodeIntoFn decode, std::shared_ptr<SimAccelerator> accel);
 
   /// Runs the full pipeline over \p items and reports statistics. On the
   /// first per-item failure, submission stops, in-flight work drains, and
@@ -78,7 +91,7 @@ class Engine {
   EngineOptions options_;
   PipelineSpec pipeline_spec_;
   PreprocPlan plan_;
-  DecodeFn decode_;
+  DecodeIntoFn decode_;
   std::shared_ptr<SimAccelerator> accel_;
 };
 

@@ -1,10 +1,29 @@
 #include "src/runtime/pipeline.h"
 
-#include <cstring>
+#include <utility>
 
+#include "src/util/macros.h"
 #include "src/util/stopwatch.h"
 
 namespace smol {
+
+DecodeIntoFn AdaptDecodeFn(DecodeFn decode) {
+  return [decode = std::move(decode)](const WorkItem& item,
+                                      Image* out) -> Status {
+    auto decoded = decode(item);
+    if (!decoded.ok()) return decoded.status();
+    *out = std::move(decoded).MoveValue();
+    return Status::OK();
+  };
+}
+
+std::shared_ptr<const PooledBuffer> SharePooled(
+    std::unique_ptr<PooledBuffer> buffer, BufferPool* pool) {
+  return std::shared_ptr<const PooledBuffer>(
+      buffer.release(), [pool](const PooledBuffer* b) {
+        pool->Put(std::unique_ptr<PooledBuffer>(const_cast<PooledBuffer*>(b)));
+      });
+}
 
 PreprocPlan CompilePipelinePlan(const PipelineSpec& spec,
                                 bool enable_dag_opt) {
@@ -18,32 +37,105 @@ PreprocPlan CompilePipelinePlan(const PipelineSpec& spec,
   return PreprocOptimizer::ReferencePlan(compiled);
 }
 
+uint64_t PipelinePlanFingerprint(const PreprocPlan& plan,
+                                 const PipelineSpec& spec) {
+  uint64_t h = TensorCache::HashCombine(0x736d6f6c706c616eull,  // "smolplan"
+                                        plan.steps.size());
+  for (const PlanStep& step : plan.steps) {
+    h = TensorCache::HashCombine(h, static_cast<uint64_t>(step.kind));
+    h = TensorCache::HashCombine(h, static_cast<uint64_t>(
+                                        static_cast<int64_t>(step.arg0)));
+    h = TensorCache::HashCombine(h, static_cast<uint64_t>(
+                                        static_cast<int64_t>(step.arg1)));
+  }
+  h = TensorCache::HashCombine(h, static_cast<uint64_t>(spec.channels));
+  h = TensorCache::HashCombine(h,
+                               static_cast<uint64_t>(spec.resize_short_side));
+  h = TensorCache::HashCombine(h, static_cast<uint64_t>(spec.crop_width));
+  h = TensorCache::HashCombine(h, static_cast<uint64_t>(spec.crop_height));
+  h = TensorCache::HashBytes(spec.normalize.mean, sizeof(spec.normalize.mean),
+                             h);
+  h = TensorCache::HashBytes(spec.normalize.std, sizeof(spec.normalize.std),
+                             h);
+  return h;
+}
+
+uint64_t WorkItemContentHash(const WorkItem& item) {
+  uint64_t h = item.bytes != nullptr
+                   ? TensorCache::HashBytes(item.bytes->data(),
+                                            item.bytes->size())
+                   : 0;
+  h = TensorCache::HashCombine(h, static_cast<uint64_t>(
+                                      static_cast<int64_t>(item.roi.x)));
+  h = TensorCache::HashCombine(h, static_cast<uint64_t>(
+                                      static_cast<int64_t>(item.roi.y)));
+  h = TensorCache::HashCombine(h, static_cast<uint64_t>(
+                                      static_cast<int64_t>(item.roi.width)));
+  h = TensorCache::HashCombine(h, static_cast<uint64_t>(
+                                      static_cast<int64_t>(item.roi.height)));
+  return h;
+}
+
 Result<StagedSample> DecodeAndStage(const WorkItem& item,
-                                    const DecodeFn& decode,
+                                    const DecodeIntoFn& decode,
                                     const PreprocPlan& plan,
                                     const PipelineSpec& spec, BufferPool& pool,
-                                    PipelineCounters& counters) {
+                                    PipelineCounters& counters,
+                                    PipelineScratch& scratch,
+                                    TensorCache* cache,
+                                    uint64_t plan_fingerprint) {
+  TensorCache::Key key;
+  if (cache != nullptr) {
+    key.content_hash = WorkItemContentHash(item);
+    key.plan_fingerprint = plan_fingerprint;
+    if (auto cached = cache->Get(key)) {
+      // Repeated content: stage the cached tensor's bytes directly — no
+      // decode, no preprocessing, no copy.
+      StagedSample out;
+      out.buffer = std::move(cached->buffer);
+      out.float_count = cached->float_count;
+      out.label = item.label;
+      out.cache_hit = true;
+      return out;
+    }
+  }
+
   Stopwatch sw;
-  auto decoded = decode(item);
+  Status decoded = decode(item, &scratch.decoded);
   counters.decode_us.fetch_add(static_cast<uint64_t>(sw.ElapsedMicros()));
-  if (!decoded.ok()) return decoded.status();
+  SMOL_RETURN_IF_ERROR(decoded);
+
   sw.Restart();
-  auto preprocessed = ExecutePlan(plan, spec, decoded.value());
+  // Size the staging buffer from the plan's output geometry, then let the
+  // plan's terminal op write the tensor straight into it (zero-copy).
+  SMOL_ASSIGN_OR_RETURN(
+      const size_t floats,
+      PlanOutputFloats(plan, spec, scratch.decoded.width(),
+                       scratch.decoded.height(), scratch.decoded.channels()));
+  std::unique_ptr<PooledBuffer> buffer = pool.Get(floats * sizeof(float));
+  SMOL_ASSIGN_OR_RETURN(
+      const size_t written,
+      ExecutePlanInto(plan, spec, scratch.decoded, scratch.preproc,
+                      reinterpret_cast<float*>(buffer->data.data()), floats));
   counters.preproc_us.fetch_add(static_cast<uint64_t>(sw.ElapsedMicros()));
-  if (!preprocessed.ok()) return preprocessed.status();
-  // Copy into a pooled (possibly pinned) staging buffer. When memory reuse
-  // is on, this recycles a prior batch's buffer.
+  if (written != floats) {
+    return Status::Internal("plan output size mismatch");
+  }
+
   StagedSample out;
-  out.float_count = preprocessed->data.size();
+  out.float_count = floats;
   out.label = item.label;
-  out.buffer = pool.Get(out.float_count * sizeof(float));
-  std::memcpy(out.buffer->data.data(), preprocessed->data.data(),
-              out.float_count * sizeof(float));
+  out.buffer = SharePooled(std::move(buffer), &pool);
+  if (cache != nullptr) {
+    CachedTensor value;
+    value.buffer = out.buffer;  // second reference; bytes are shared, not copied
+    value.float_count = floats;
+    cache->Put(key, std::move(value));
+  }
   return out;
 }
 
-int SubmitStagedBatch(std::vector<StagedSample>& batch, SimAccelerator& accel,
-                      BufferPool& pool) {
+int SubmitStagedBatch(std::vector<StagedSample>& batch, SimAccelerator& accel) {
   if (batch.empty()) return 0;
   size_t bytes = 0;
   bool pinned = true;
@@ -52,8 +144,11 @@ int SubmitStagedBatch(std::vector<StagedSample>& batch, SimAccelerator& accel,
     pinned = pinned && sample.buffer->pinned;
   }
   const int batch_size = static_cast<int>(batch.size());
-  accel.ExecuteBatch(batch_size, bytes, pinned);
-  for (auto& sample : batch) pool.Put(std::move(sample.buffer));
+  // One scatter-gather descriptor per pooled sample buffer: the batch is
+  // gathered by the DMA engine, not copied into a contiguous staging area.
+  accel.ExecuteBatch(batch_size, bytes, pinned, /*chunks=*/batch_size);
+  // Dropping the references recycles each buffer to its pool — unless the
+  // tensor cache still holds it, in which case it stays resident for reuse.
   batch.clear();
   return batch_size;
 }

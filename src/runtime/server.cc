@@ -19,26 +19,41 @@ std::chrono::steady_clock::duration MicrosToDuration(double micros) {
 
 Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
                DecodeFn decode, std::shared_ptr<SimAccelerator> accel)
+    : Server(options, pipeline_spec, AdaptDecodeFn(std::move(decode)),
+             std::move(accel)) {}
+
+Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
+               DecodeIntoFn decode, std::shared_ptr<SimAccelerator> accel)
     : Server(options, pipeline_spec,
              CompilePipelinePlan(pipeline_spec, options.engine.enable_dag_opt),
              std::move(decode), std::move(accel)) {}
 
 Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
-               PreprocPlan plan, DecodeFn decode,
+               PreprocPlan plan, DecodeIntoFn decode,
                std::shared_ptr<SimAccelerator> accel)
     : options_(options),
       pipeline_spec_(pipeline_spec),
       plan_(std::move(plan)),
       decode_(std::move(decode)),
       accel_(std::move(accel)),
-      pool_(BufferPool::Options{options.engine.enable_memory_reuse,
-                                options.engine.enable_pinned,
-                                /*overallocation_factor=*/1.5}),
+      pool_([&options] {
+        BufferPool::Options pool_options;
+        pool_options.enable_reuse = options.engine.enable_memory_reuse;
+        pool_options.pin_buffers = options.engine.enable_pinned;
+        return pool_options;
+      }()),
       admission_(static_cast<size_t>(
           std::max(options.admission_capacity, 1))),
       staged_(static_cast<size_t>(std::max(options.engine.queue_capacity, 1))),
       start_time_(std::chrono::steady_clock::now()) {
   EngineOptions& eng = options_.engine;
+  if (eng.enable_tensor_cache) {
+    TensorCache::Options cache_options;
+    cache_options.capacity_bytes = eng.tensor_cache_bytes;
+    cache_options.shards = eng.tensor_cache_shards;
+    cache_ = std::make_unique<TensorCache>(cache_options);
+    plan_fingerprint_ = PipelinePlanFingerprint(plan_, pipeline_spec_);
+  }
   if (eng.num_producers <= 0) {
     eng.num_producers = static_cast<int>(std::thread::hardware_concurrency());
     if (eng.num_producers <= 0) eng.num_producers = 2;
@@ -115,11 +130,15 @@ void Server::SubmitInternal(WorkItem item, RequestContext ctx) {
 }
 
 void Server::ProducerLoop() {
+  // Per-thread scratch: the decode image and preproc intermediates keep
+  // their allocations across every item this producer processes.
+  PipelineScratch scratch;
   while (auto request = admission_.Pop()) {
     Staged staged;
     staged.ctx = std::move(request->ctx);
-    auto sample = DecodeAndStage(request->item, decode_, plan_,
-                                 pipeline_spec_, pool_, counters_);
+    auto sample =
+        DecodeAndStage(request->item, decode_, plan_, pipeline_spec_, pool_,
+                       counters_, scratch, cache_.get(), plan_fingerprint_);
     if (!sample.ok()) {
       failed_.fetch_add(1, std::memory_order_relaxed);
       InferenceReply reply;
@@ -156,16 +175,30 @@ void Server::ConsumerLoop() {
 
 void Server::FlushBatch(std::vector<Staged>& batch) {
   if (batch.empty()) return;
+  // Capture per-request metadata before the samples are moved into the
+  // submission: the seed read staged.sample.label *after* the move below,
+  // echoing 0 (moved-from) labels back to callers.
+  struct Meta {
+    int label;
+    bool cache_hit;
+  };
+  std::vector<Meta> meta;
+  meta.reserve(batch.size());
   std::vector<StagedSample> samples;
   samples.reserve(batch.size());
-  for (auto& staged : batch) samples.push_back(std::move(staged.sample));
-  const int batch_size = SubmitStagedBatch(samples, *accel_, pool_);
+  for (auto& staged : batch) {
+    meta.push_back({staged.sample.label, staged.sample.cache_hit});
+    samples.push_back(std::move(staged.sample));
+  }
+  const int batch_size = SubmitStagedBatch(samples, *accel_);
   batches_.fetch_add(1, std::memory_order_relaxed);
   const TimePoint now = std::chrono::steady_clock::now();
-  for (auto& staged : batch) {
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto& staged = batch[i];
     InferenceReply reply;
     reply.status = Status::OK();
-    reply.label = staged.sample.label;
+    reply.label = meta[i].label;
+    reply.cache_hit = meta[i].cache_hit;
     reply.batch_size = batch_size;
     reply.latency_us =
         std::chrono::duration<double, std::micro>(now - staged.ctx.submit_time)
@@ -214,6 +247,7 @@ ServerStats Server::stats() const {
   s.latency = latency_.TakeSnapshot();
   s.buffer_stats = pool_.stats();
   s.accel_stats = accel_->stats();
+  if (cache_ != nullptr) s.tensor_cache = cache_->stats();
   return s;
 }
 

@@ -64,6 +64,7 @@ struct InferenceReply {
   int label = 0;          ///< the item's label, echoed through the pipeline
   double latency_us = 0.0;  ///< submit -> completion wall time
   int batch_size = 0;     ///< size of the coalesced batch it was served in
+  bool cache_hit = false;  ///< served from the tensor cache (decode skipped)
   bool ok() const { return status.ok(); }
 };
 
@@ -82,6 +83,7 @@ struct ServerStats {
   LatencyHistogram::Snapshot latency;  ///< submit -> completion, per request
   BufferPoolStats buffer_stats;
   SimAccelerator::Stats accel_stats;
+  TensorCacheStats tensor_cache;  ///< zeros unless enable_tensor_cache
 };
 
 /// \brief Persistent streaming inference server.
@@ -94,10 +96,15 @@ class Server {
   Server(ServerOptions options, PipelineSpec pipeline_spec, DecodeFn decode,
          std::shared_ptr<SimAccelerator> accel);
 
+  /// Allocation-free decode flavour (emits into a per-producer scratch
+  /// image; e.g. wraps SjpgDecodeInto).
+  Server(ServerOptions options, PipelineSpec pipeline_spec,
+         DecodeIntoFn decode, std::shared_ptr<SimAccelerator> accel);
+
   /// Same, but reuses \p plan instead of recompiling (the Engine wrapper
   /// passes the plan it already compiled at construction).
   Server(ServerOptions options, PipelineSpec pipeline_spec, PreprocPlan plan,
-         DecodeFn decode, std::shared_ptr<SimAccelerator> accel);
+         DecodeIntoFn decode, std::shared_ptr<SimAccelerator> accel);
 
   ~Server();
 
@@ -150,10 +157,14 @@ class Server {
   ServerOptions options_;
   PipelineSpec pipeline_spec_;
   PreprocPlan plan_;
-  DecodeFn decode_;
+  uint64_t plan_fingerprint_ = 0;
+  DecodeIntoFn decode_;
   std::shared_ptr<SimAccelerator> accel_;
 
+  // Declaration order is load-bearing: cache_ holds references to pool_'s
+  // buffers (recycled on release), so the cache must be destroyed first.
   BufferPool pool_;
+  std::unique_ptr<TensorCache> cache_;  // null unless enable_tensor_cache
   MpmcQueue<Request> admission_;
   MpmcQueue<Staged> staged_;
   std::vector<std::thread> producers_;

@@ -32,7 +32,12 @@ struct BufferPoolStats {
   uint64_t allocations = 0;  ///< Fresh allocations performed.
   uint64_t reuses = 0;       ///< Requests served from the free list.
   uint64_t returns = 0;      ///< Buffers returned to the pool.
+  uint64_t trims = 0;        ///< Returned buffers freed to respect the caps.
+  /// Bytes actually reserved by fresh allocations (includes the §6.1
+  /// overallocation headroom, not just the rounded bucket size).
   uint64_t bytes_allocated = 0;
+  /// Bytes currently held on the free lists (capacity, not logical size).
+  uint64_t bytes_pooled = 0;
 };
 
 /// \brief Size-bucketed pool of reusable byte buffers.
@@ -47,6 +52,11 @@ class BufferPool {
     bool pin_buffers = true;   ///< Lesion toggle: register buffers as pinned.
     /// §6.1: over-allocate so producers do not contend with consumers.
     double overallocation_factor = 1.5;
+    /// Caps on idle (free-list) memory: without them, size-class churn grows
+    /// the pool without bound. A buffer returned past either cap is freed
+    /// instead of pooled (counted in stats().trims). 0 = uncapped.
+    size_t max_pool_bytes = 512ull << 20;  ///< total idle bytes across buckets
+    size_t max_free_per_bucket = 64;       ///< idle buffers per size class
   };
 
   BufferPool();  // default options
@@ -55,16 +65,19 @@ class BufferPool {
   /// Returns a buffer with at least \p size bytes (size() == \p size).
   std::unique_ptr<PooledBuffer> Get(size_t size);
 
-  /// Returns \p buffer to the pool (or frees it when reuse is disabled).
+  /// Returns \p buffer to the pool (or frees it when reuse is disabled or the
+  /// free-list caps are reached).
   void Put(std::unique_ptr<PooledBuffer> buffer);
+
+  /// Size class for \p size: next power of two, minimum 4 KiB, saturating at
+  /// \p size itself once doubling would overflow (huge requests get an exact
+  /// bucket instead of looping forever).
+  static size_t Bucket(size_t size);
 
   BufferPoolStats stats() const;
   const Options& options() const { return options_; }
 
  private:
-  // Buckets by rounded-up capacity so nearly-equal sizes share a free list.
-  static size_t Bucket(size_t size);
-
   Options options_;
   mutable std::mutex mutex_;
   std::unordered_map<size_t, std::vector<std::unique_ptr<PooledBuffer>>> free_;

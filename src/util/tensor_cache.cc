@@ -1,0 +1,127 @@
+#include "src/util/tensor_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace smol {
+
+TensorCache::TensorCache(Options options) : options_(options) {
+  if (options_.shards <= 0) options_.shards = 1;
+  if (options_.capacity_bytes == 0) options_.capacity_bytes = 1;
+  shard_budget_ =
+      std::max<size_t>(1, options_.capacity_bytes /
+                              static_cast<size_t>(options_.shards));
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t TensorCache::HashBytes(const void* data, size_t size, uint64_t seed) {
+  // FNV-1a, consumed 8 bytes at a time (each word folded through the usual
+  // byte-sized multiply chain would cost 8 multiplies; one multiply per word
+  // keeps hashing well under the cost of the decode it replaces).
+  constexpr uint64_t kPrime = 0x100000001b3ull;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    h = (h ^ word) * kPrime;
+  }
+  for (; i < size; ++i) {
+    h = (h ^ p[i]) * kPrime;
+  }
+  // Final avalanche so short inputs spread across shards.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t TensorCache::HashCombine(uint64_t seed, uint64_t value) {
+  // Multiply the seed before folding the value in so the combiner is
+  // order-sensitive: HashCombine(a, b) != HashCombine(b, a) in general
+  // (a plain (seed ^ value) * prime would be symmetric).
+  constexpr uint64_t kPrime = 0x100000001b3ull;
+  uint64_t h = (seed * kPrime) ^ value;
+  h *= kPrime;
+  h ^= h >> 29;
+  return h;
+}
+
+TensorCache::Shard& TensorCache::ShardFor(const Key& key) {
+  const uint64_t h = HashCombine(key.content_hash, key.plan_fingerprint);
+  return *shards_[static_cast<size_t>(h % shards_.size())];
+}
+
+size_t TensorCache::EntryBytes(const CachedTensor& value) {
+  // Charge the buffer's actual capacity plus a fixed bookkeeping overhead so
+  // many tiny tensors cannot blow past the budget through metadata alone.
+  constexpr size_t kEntryOverhead = 128;
+  const size_t payload =
+      value.buffer != nullptr ? value.buffer->data.capacity() : 0;
+  return payload + kEntryOverhead;
+}
+
+std::optional<CachedTensor> TensorCache::Get(const Key& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    shard.stats.misses++;
+    return std::nullopt;
+  }
+  shard.stats.hits++;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // bump recency
+  return it->second->value;
+}
+
+void TensorCache::Put(const Key& key, CachedTensor value) {
+  const size_t bytes = EntryBytes(value);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (bytes > shard_budget_) {
+    shard.stats.rejected++;
+    return;
+  }
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place (concurrent producers can race to insert one key).
+    shard.bytes -= it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    shard.stats.evictions++;
+  }
+  shard.lru.push_front(Entry{key, std::move(value), bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  shard.stats.insertions++;
+}
+
+TensorCacheStats TensorCache::stats() const {
+  TensorCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.rejected += shard->stats.rejected;
+    total.bytes_cached += shard->bytes;
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace smol

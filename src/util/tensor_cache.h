@@ -1,0 +1,136 @@
+// Content-addressed cache of decoded/preprocessed tensors.
+//
+// The realistic millions-of-users access pattern is heavily repeated content:
+// hot images, shared video segments, thumbnails fetched by many requests. On
+// the §6.1 memory path, the preprocessed representation of one input is a
+// pure function of (encoded bytes, preprocessing plan) — so repeated-content
+// traffic can skip decode + preprocessing entirely by addressing tensors with
+//
+//   key = content hash (encoded bytes + ROI)  x  plan fingerprint
+//
+// following Anderson et al.'s physical-representation optimization: cache the
+// materialized representation, keyed by content and the plan that produced
+// it, and let the serving path pick it up instead of recomputing.
+//
+// Values are shared, immutable references to pooled staging buffers
+// (`std::shared_ptr<const PooledBuffer>`): a cache hit stages the SAME bytes
+// the producer wrote — no copy out of the cache — and the buffer returns to
+// its BufferPool only when both the cache entry and every in-flight batch
+// reference are gone (the deleter recycles it).
+//
+// Concurrency: the cache is sharded by key hash; each shard is an LRU list +
+// index behind its own mutex, with a per-shard byte budget (capacity_bytes /
+// shards). Eviction is LRU within a shard. Entries larger than a shard's
+// budget are rejected rather than evicting the entire shard.
+#ifndef SMOL_UTIL_TENSOR_CACHE_H_
+#define SMOL_UTIL_TENSOR_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/buffer_pool.h"
+
+namespace smol {
+
+/// \brief One cached preprocessed tensor (f32 CHW bytes in a pooled buffer).
+struct CachedTensor {
+  std::shared_ptr<const PooledBuffer> buffer;
+  size_t float_count = 0;
+};
+
+/// \brief Cumulative cache statistics.
+struct TensorCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;  ///< LRU evictions to respect the byte budget
+  uint64_t rejected = 0;   ///< inserts larger than a shard's budget
+  uint64_t bytes_cached = 0;
+  uint64_t entries = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// \brief Sharded LRU cache keyed by content hash x plan fingerprint.
+class TensorCache {
+ public:
+  struct Key {
+    uint64_t content_hash = 0;
+    uint64_t plan_fingerprint = 0;
+
+    bool operator==(const Key& other) const {
+      return content_hash == other.content_hash &&
+             plan_fingerprint == other.plan_fingerprint;
+    }
+  };
+
+  struct Options {
+    size_t capacity_bytes = 64ull << 20;  ///< byte budget across all shards
+    int shards = 8;                       ///< concurrency sharding factor
+  };
+
+  explicit TensorCache(Options options);
+
+  /// Looks \p key up, bumping its recency. Returns a shared reference to the
+  /// cached tensor (no copy) or nullopt. Counted as hit/miss.
+  std::optional<CachedTensor> Get(const Key& key);
+
+  /// Inserts \p value under \p key, evicting LRU entries of the shard until
+  /// its byte budget holds. Replaces an existing entry for the same key.
+  /// Oversized values (> shard budget) are rejected.
+  void Put(const Key& key, CachedTensor value);
+
+  /// Aggregated statistics across shards.
+  TensorCacheStats stats() const;
+
+  const Options& options() const { return options_; }
+
+  /// FNV-1a over \p size bytes (word-at-a-time), seedable for chaining.
+  static uint64_t HashBytes(const void* data, size_t size,
+                            uint64_t seed = 0xcbf29ce484222325ull);
+
+  /// Chains a single 64-bit value into a running hash (for small fields like
+  /// ROI coordinates or plan-step arguments).
+  static uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+ private:
+  struct Entry {
+    Key key;
+    CachedTensor value;
+    size_t bytes = 0;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(
+          TensorCache::HashCombine(k.content_hash, k.plan_fingerprint));
+    }
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    size_t bytes = 0;
+    TensorCacheStats stats;  // per-shard; aggregated by stats()
+  };
+
+  Shard& ShardFor(const Key& key);
+  static size_t EntryBytes(const CachedTensor& value);
+
+  Options options_;
+  size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace smol
+
+#endif  // SMOL_UTIL_TENSOR_CACHE_H_

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <utility>
+#include <vector>
 
 #include "src/preproc/fused.h"
 #include "src/preproc/graph.h"
@@ -240,6 +242,73 @@ TEST_P(GraphEquivalenceTest, AllPlansAgreeWithReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphEquivalenceTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// The zero-copy executor is the serving hot path: for every enumerated plan
+// it must write bit-identical output to ExecutePlan, and PlanOutputFloats
+// must predict the exact element count (the runtime sizes pooled staging
+// buffers from it before executing). Scratch is reused across plans on
+// purpose — stale intermediate shapes must not leak between runs.
+TEST(GraphTest, ExecutePlanIntoMatchesExecutePlanExactly) {
+  const auto spec = TestSpec();
+  PreprocScratch scratch;
+  for (uint64_t seed : {1, 2, 3}) {
+    const Image img =
+        MakeTestImage(spec.input_width, spec.input_height, 3, seed);
+    for (const auto& plan : PreprocOptimizer::EnumeratePlans(spec)) {
+      ASSERT_OK_AND_ASSIGN(FloatImage ref, ExecutePlan(plan, spec, img));
+      ASSERT_OK_AND_ASSIGN(
+          size_t predicted,
+          PlanOutputFloats(plan, spec, img.width(), img.height(),
+                           img.channels()));
+      ASSERT_EQ(predicted, ref.data.size()) << plan.ToString();
+      std::vector<float> dst(predicted, -1.0e30f);
+      ASSERT_OK_AND_ASSIGN(
+          size_t written,
+          ExecutePlanInto(plan, spec, img, scratch, dst.data(), dst.size()));
+      ASSERT_EQ(written, predicted) << plan.ToString();
+      ASSERT_EQ(0, std::memcmp(dst.data(), ref.data.data(),
+                               predicted * sizeof(float)))
+          << plan.ToString();
+    }
+  }
+}
+
+// Non-square inputs exercise the short-side scaling and the crop-fused tail's
+// row-strided path (ROI narrower than the resized image).
+TEST(GraphTest, ExecutePlanIntoMatchesOnNonSquareInputs) {
+  PreprocScratch scratch;
+  for (auto dims : {std::pair<int, int>{128, 96}, {96, 128}, {131, 97}}) {
+    const auto spec = TestSpec(dims.first, dims.second);
+    const Image img = MakeTestImage(dims.first, dims.second, 3, 9);
+    for (const auto& plan : PreprocOptimizer::EnumeratePlans(spec)) {
+      ASSERT_OK_AND_ASSIGN(FloatImage ref, ExecutePlan(plan, spec, img));
+      std::vector<float> dst(ref.data.size());
+      ASSERT_OK_AND_ASSIGN(
+          size_t written,
+          ExecutePlanInto(plan, spec, img, scratch, dst.data(), dst.size()));
+      ASSERT_EQ(written, ref.data.size()) << plan.ToString();
+      ASSERT_EQ(0, std::memcmp(dst.data(), ref.data.data(),
+                               written * sizeof(float)))
+          << plan.ToString();
+    }
+  }
+}
+
+TEST(GraphTest, ExecutePlanIntoRejectsSmallDestination) {
+  const auto spec = TestSpec();
+  const Image img = MakeTestImage(spec.input_width, spec.input_height, 3);
+  PreprocScratch scratch;
+  for (const auto& plan : PreprocOptimizer::EnumeratePlans(spec)) {
+    ASSERT_OK_AND_ASSIGN(
+        size_t floats,
+        PlanOutputFloats(plan, spec, img.width(), img.height(),
+                         img.channels()));
+    std::vector<float> dst(floats - 1);
+    auto result =
+        ExecutePlanInto(plan, spec, img, scratch, dst.data(), dst.size());
+    EXPECT_FALSE(result.ok()) << plan.ToString();
+  }
+}
 
 TEST(GraphTest, CostAccountsForDataTypes) {
   // A plan that converts to float before cropping must cost more than one

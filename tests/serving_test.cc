@@ -238,6 +238,119 @@ TEST_F(ServingTest, DecodeErrorCompletesRequestWithFailure) {
   EXPECT_EQ(stats.completed, 1u);
 }
 
+// --- Zero-copy staging + tensor cache ------------------------------------------------
+
+// The accelerator must see exactly the logical tensor bytes: every staged
+// sample is the plan's output (64x64x3 floats here), staged once, with one
+// gather descriptor per sample — no padding, no duplicate staging copies.
+TEST_F(ServingTest, StagedBytesMatchLogicalTensorBytes) {
+  ServerOptions opts;
+  opts.max_batch = 8;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  constexpr uint64_t kImages = 32;
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < static_cast<int>(kImages); ++i) {
+    replies.push_back(server.Submit(Item(i)));
+  }
+  for (auto& r : replies) ASSERT_TRUE(r.get().ok());
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  const uint64_t logical_bytes_per_image = 64ull * 64ull * 3ull * sizeof(float);
+  EXPECT_EQ(stats.accel_stats.bytes, kImages * logical_bytes_per_image);
+  EXPECT_EQ(stats.accel_stats.chunks, kImages);  // one descriptor per sample
+  // With the cache off, no tensor-cache bookkeeping happens at all.
+  EXPECT_EQ(stats.tensor_cache.hits, 0u);
+  EXPECT_EQ(stats.tensor_cache.misses, 0u);
+}
+
+// Repeated content with the cache enabled: the second wave is served from the
+// cache (reply.cache_hit), labels still echo per-request, and the decoder is
+// never touched for a hit.
+TEST_F(ServingTest, RepeatedContentHitsCacheAndSkipsDecode) {
+  ServerOptions opts;
+  opts.max_batch = 8;
+  opts.engine.enable_tensor_cache = true;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  std::vector<std::future<InferenceReply>> first;
+  for (int i = 0; i < 8; ++i) first.push_back(server.Submit(Item(i)));
+  for (auto& r : first) {
+    const InferenceReply reply = r.get();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_FALSE(reply.cache_hit);  // first sighting of each image
+  }
+  const double decode_seconds_after_misses = server.stats().decode_seconds;
+  EXPECT_GT(decode_seconds_after_misses, 0.0);
+
+  // Same encoded bytes, fresh labels: every request must hit.
+  std::vector<std::future<InferenceReply>> second;
+  for (int i = 0; i < 8; ++i) {
+    WorkItem item = Item(i);
+    item.label = 100 + i;
+    second.push_back(server.Submit(item));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const InferenceReply reply = second[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.label, 100 + i);  // label rides the request, not the cache
+    EXPECT_TRUE(reply.cache_hit);
+  }
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.tensor_cache.hits, 8u);
+  EXPECT_EQ(stats.tensor_cache.misses, 8u);
+  EXPECT_EQ(stats.tensor_cache.entries, 8u);
+  // Cache hits bypass the decoder entirely: no decode time accrued in wave 2.
+  EXPECT_DOUBLE_EQ(stats.decode_seconds, decode_seconds_after_misses);
+  EXPECT_EQ(stats.completed, 16u);
+}
+
+// The cache is an optimization, not a semantic change: the same workload with
+// the cache on and off yields the same replies (labels, success) and stages
+// the same total bytes to the accelerator.
+TEST_F(ServingTest, CacheOnAndOffProduceIdenticalResults) {
+  constexpr int kRequests = 24;
+  constexpr int kUniqueImages = 6;
+  uint64_t staged_bytes[2] = {0, 0};
+  std::vector<int> labels[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool cache_on = pass == 1;
+    ServerOptions opts;
+    opts.max_batch = 4;
+    // Two producers: duplicates (6 requests apart) are never decoded
+    // concurrently, so the hit count below is deterministic.
+    opts.engine.num_producers = 2;
+    opts.engine.enable_tensor_cache = cache_on;
+    Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+    std::vector<std::future<InferenceReply>> replies;
+    for (int i = 0; i < kRequests; ++i) {
+      WorkItem item = Item(i % kUniqueImages);  // heavy content repetition
+      item.label = i;
+      replies.push_back(server.Submit(item));
+    }
+    for (auto& r : replies) {
+      const InferenceReply reply = r.get();
+      ASSERT_TRUE(reply.ok()) << reply.status.ToString();
+      labels[pass].push_back(reply.label);
+    }
+    server.Shutdown();
+    const ServerStats stats = server.stats();
+    staged_bytes[pass] = stats.accel_stats.bytes;
+    EXPECT_EQ(stats.completed, static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(stats.failed, 0u);
+    if (cache_on) {
+      // A hit stages the identical shared tensor, so hits don't change the
+      // bytes the accelerator consumes.
+      EXPECT_EQ(stats.tensor_cache.hits + stats.tensor_cache.misses,
+                static_cast<uint64_t>(kRequests));
+      EXPECT_GT(stats.tensor_cache.hits, 0u);
+    }
+  }
+  std::sort(labels[0].begin(), labels[0].end());
+  std::sort(labels[1].begin(), labels[1].end());
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(staged_bytes[0], staged_bytes[1]);
+}
+
 // --- LatencyHistogram ----------------------------------------------------------------
 
 TEST(LatencyHistogramTest, EmptySnapshotIsAllZero) {

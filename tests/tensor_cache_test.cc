@@ -1,0 +1,208 @@
+// Tests for src/util/tensor_cache.h: the content-addressed cache of
+// preprocessed tensors (hit/miss accounting, LRU eviction under a byte
+// budget, shared-buffer recycling, and concurrent access).
+#include "src/util/tensor_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/util/buffer_pool.h"
+#include "src/util/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace smol {
+namespace {
+
+TensorCache::Key MakeKey(uint64_t content, uint64_t plan = 7) {
+  TensorCache::Key key;
+  key.content_hash = content;
+  key.plan_fingerprint = plan;
+  return key;
+}
+
+// A cached value backed by a plain (non-pooled) buffer of `floats` floats.
+CachedTensor MakeTensor(size_t floats, uint8_t fill = 0) {
+  auto buffer = std::make_shared<PooledBuffer>();
+  buffer->data.assign(floats * sizeof(float), fill);
+  CachedTensor value;
+  value.buffer = std::move(buffer);
+  value.float_count = floats;
+  return value;
+}
+
+TEST(TensorCacheTest, MissThenHit) {
+  TensorCache cache(TensorCache::Options{});
+  const auto key = MakeKey(1);
+  EXPECT_FALSE(cache.Get(key).has_value());
+  cache.Put(key, MakeTensor(16, 0xAB));
+  auto hit = cache.Get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->float_count, 16u);
+  EXPECT_EQ(hit->buffer->data[0], 0xAB);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(TensorCacheTest, KeyIsContentTimesPlan) {
+  TensorCache cache(TensorCache::Options{});
+  cache.Put(MakeKey(1, /*plan=*/7), MakeTensor(8));
+  // Same content under a different plan fingerprint is a different tensor.
+  EXPECT_FALSE(cache.Get(MakeKey(1, /*plan=*/8)).has_value());
+  // Different content under the same plan likewise.
+  EXPECT_FALSE(cache.Get(MakeKey(2, /*plan=*/7)).has_value());
+  EXPECT_TRUE(cache.Get(MakeKey(1, /*plan=*/7)).has_value());
+}
+
+TEST(TensorCacheTest, HitReturnsSharedBufferNotACopy) {
+  TensorCache cache(TensorCache::Options{});
+  auto value = MakeTensor(32, 0x5A);
+  const uint8_t* bytes = value.buffer->data.data();
+  cache.Put(MakeKey(3), std::move(value));
+  auto hit = cache.Get(MakeKey(3));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->buffer->data.data(), bytes);  // same allocation, zero copy
+}
+
+TEST(TensorCacheTest, ReplacingSameKeyKeepsOneEntry) {
+  TensorCache cache(TensorCache::Options{});
+  cache.Put(MakeKey(4), MakeTensor(16, 1));
+  cache.Put(MakeKey(4), MakeTensor(16, 2));
+  auto hit = cache.Get(MakeKey(4));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->buffer->data[0], 2);  // newest value wins
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(TensorCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // One shard so recency is globally ordered; budget fits ~4 tensors of
+  // 1 KiB (+ per-entry overhead).
+  TensorCache::Options options;
+  options.shards = 1;
+  options.capacity_bytes = 5000;
+  TensorCache cache(options);
+  const size_t floats = 256;  // 1 KiB each
+  for (uint64_t i = 0; i < 4; ++i) cache.Put(MakeKey(i), MakeTensor(floats));
+  // Touch key 0 so key 1 is now the LRU entry.
+  ASSERT_TRUE(cache.Get(MakeKey(0)).has_value());
+  cache.Put(MakeKey(99), MakeTensor(floats));
+  EXPECT_TRUE(cache.Get(MakeKey(0)).has_value());   // recently used: kept
+  EXPECT_FALSE(cache.Get(MakeKey(1)).has_value());  // LRU: evicted
+  EXPECT_TRUE(cache.Get(MakeKey(99)).has_value());
+  const auto stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes_cached, 5000u);
+}
+
+TEST(TensorCacheTest, OversizedValuesAreRejectedNotCached) {
+  TensorCache::Options options;
+  options.shards = 1;
+  options.capacity_bytes = 1024;
+  TensorCache cache(options);
+  cache.Put(MakeKey(5), MakeTensor(4096));  // 16 KiB > budget
+  EXPECT_FALSE(cache.Get(MakeKey(5)).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes_cached, 0u);
+}
+
+TEST(TensorCacheTest, CapacityEnforcedAcrossManyInsertions) {
+  TensorCache::Options options;
+  options.shards = 4;
+  options.capacity_bytes = 64 * 1024;
+  TensorCache cache(options);
+  for (uint64_t i = 0; i < 512; ++i) {
+    cache.Put(MakeKey(i), MakeTensor(512));  // 2 KiB each, 1 MiB total
+  }
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.bytes_cached, 64u * 1024u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+}
+
+TEST(TensorCacheTest, PooledBuffersRecycleWhenCacheEvicts) {
+  // Values wrapped over a BufferPool (as the serving path stages them) must
+  // flow back to the pool when the cache drops its reference.
+  BufferPool pool;
+  TensorCache::Options options;
+  options.shards = 1;
+  options.capacity_bytes = 8 * 1024;
+  auto cache = std::make_unique<TensorCache>(options);
+  for (uint64_t i = 0; i < 8; ++i) {
+    auto buffer = pool.Get(2048);
+    std::shared_ptr<const PooledBuffer> shared(
+        buffer.release(), [&pool](const PooledBuffer* b) {
+          pool.Put(std::unique_ptr<PooledBuffer>(
+              const_cast<PooledBuffer*>(b)));
+        });
+    CachedTensor value;
+    value.buffer = std::move(shared);
+    value.float_count = 512;
+    cache->Put(MakeKey(i), std::move(value));
+  }
+  EXPECT_GT(pool.stats().returns, 0u);  // evicted entries recycled
+  cache.reset();
+  EXPECT_EQ(pool.stats().returns, 8u);  // the rest on cache destruction
+}
+
+TEST(TensorCacheTest, HashBytesIsStableAndSensitive) {
+  const char a[] = "the quick brown fox";
+  const char b[] = "the quick brown foy";
+  EXPECT_EQ(TensorCache::HashBytes(a, sizeof(a)),
+            TensorCache::HashBytes(a, sizeof(a)));
+  EXPECT_NE(TensorCache::HashBytes(a, sizeof(a)),
+            TensorCache::HashBytes(b, sizeof(b)));
+  EXPECT_NE(TensorCache::HashBytes(a, sizeof(a) - 1),
+            TensorCache::HashBytes(a, sizeof(a)));
+  EXPECT_NE(TensorCache::HashCombine(1, 2), TensorCache::HashCombine(2, 1));
+}
+
+// Concurrent Get/Put over a shared key range, scheduled on the thread pool:
+// no crashes, no lost values, and the books stay consistent.
+TEST(TensorCacheTest, ConcurrentGetPutUnderThreadPool) {
+  TensorCache::Options options;
+  options.shards = 8;
+  options.capacity_bytes = 256 * 1024;
+  TensorCache cache(options);
+  constexpr int kWorkers = 8;
+  constexpr int kOpsPerWorker = 2000;
+  constexpr uint64_t kKeySpace = 64;
+  ThreadPool pool(kWorkers);
+  std::atomic<uint64_t> observed_hits{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    futures.push_back(pool.Submit([&cache, &observed_hits, w] {
+      for (int i = 0; i < kOpsPerWorker; ++i) {
+        const uint64_t k = static_cast<uint64_t>(w * 31 + i) % kKeySpace;
+        if (auto hit = cache.Get(MakeKey(k))) {
+          // A hit's payload must match its key (no cross-key aliasing).
+          observed_hits.fetch_add(1);
+          ASSERT_EQ(hit->buffer->data[0], static_cast<uint8_t>(k));
+        } else {
+          cache.Put(MakeKey(k), MakeTensor(64, static_cast<uint8_t>(k)));
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kWorkers) * kOpsPerWorker);
+  EXPECT_LE(stats.entries, kKeySpace);
+  EXPECT_LE(stats.bytes_cached, options.capacity_bytes);
+}
+
+}  // namespace
+}  // namespace smol

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <set>
 #include <thread>
 #include <utility>
@@ -271,6 +272,68 @@ TEST(BufferPoolTest, DifferentBucketsDoNotCrossReuse) {
   pool.Put(std::move(small));
   auto large = pool.Get(100000);
   EXPECT_EQ(large->reuse_count, 0u);  // not served from the small bucket
+}
+
+TEST(BufferPoolTest, BucketSaturatesOnHugeSizes) {
+  // Power-of-two doubling overflows for sizes past SIZE_MAX/2; the bucket
+  // computation must saturate to an exact-size class instead of spinning.
+  EXPECT_EQ(BufferPool::Bucket(0), 4096u);
+  EXPECT_EQ(BufferPool::Bucket(1), 4096u);
+  EXPECT_EQ(BufferPool::Bucket(4096), 4096u);
+  EXPECT_EQ(BufferPool::Bucket(4097), 8192u);
+  const size_t max_size = std::numeric_limits<size_t>::max();
+  const size_t huge = max_size / 2 + 12345;  // not reachable by doubling
+  EXPECT_EQ(BufferPool::Bucket(huge), huge);
+  EXPECT_EQ(BufferPool::Bucket(max_size), max_size);
+}
+
+TEST(BufferPoolTest, BytesAllocatedIncludesOverallocation) {
+  BufferPool::Options opts;
+  opts.overallocation_factor = 1.5;
+  BufferPool pool(opts);
+  auto b = pool.Get(4096);
+  // The §6.1 overallocation headroom must be accounted, not just the bucket.
+  EXPECT_GE(b->data.capacity(), static_cast<size_t>(4096 * 1.5));
+  EXPECT_GE(pool.stats().bytes_allocated, static_cast<uint64_t>(4096 * 1.5));
+}
+
+TEST(BufferPoolTest, PerBucketCapTrimsExcessReturns) {
+  BufferPool::Options opts;
+  opts.max_free_per_bucket = 4;
+  BufferPool pool(opts);
+  std::vector<std::unique_ptr<PooledBuffer>> live;
+  for (int i = 0; i < 16; ++i) live.push_back(pool.Get(1000));
+  for (auto& b : live) pool.Put(std::move(b));
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.returns, 16u);
+  EXPECT_EQ(stats.trims, 12u);  // only 4 pooled, the rest freed
+  EXPECT_GT(stats.bytes_pooled, 0u);
+}
+
+TEST(BufferPoolTest, TotalByteCapBoundsIdleMemoryAcrossBuckets) {
+  BufferPool::Options opts;
+  opts.max_pool_bytes = 64 * 1024;
+  opts.max_free_per_bucket = 0;  // only the byte cap applies
+  BufferPool pool(opts);
+  // Churn many size classes; idle (pooled) memory must stay under the cap.
+  for (size_t size : {1000u, 5000u, 17000u, 33000u, 70000u}) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Put(pool.Get(size));
+    }
+  }
+  const auto stats = pool.stats();
+  EXPECT_LE(stats.bytes_pooled, 64u * 1024u);
+  EXPECT_GT(stats.trims, 0u);
+}
+
+TEST(BufferPoolTest, PinnedFlagSurvivesReuse) {
+  BufferPool pool;  // pinned by default
+  auto b = pool.Get(2048);
+  ASSERT_TRUE(b->pinned);
+  pool.Put(std::move(b));
+  auto reused = pool.Get(2048);
+  EXPECT_EQ(reused->reuse_count, 1u);
+  EXPECT_TRUE(reused->pinned);  // registration survives the free list
 }
 
 // --- Concurrency stress (thread_pool-driven) ---------------------------------
