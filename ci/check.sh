@@ -3,10 +3,12 @@
 #
 #   ci/check.sh                          # plain build + all suites
 #   ci/check.sh --sanitize               # ASan/UBSan build, every suite
+#   ci/check.sh --tsan                   # TSan build, concurrency suites
+#                                        #   (util/runtime/serving)
 #   ci/check.sh --werror                 # add -DSMOL_WERROR=ON (combinable)
 #   ci/check.sh --bench-smoke [out]      # bench_micro + bench_serving smoke
 #                                        #   -> merged JSON snapshot
-#                                        #   (default out: BENCH_pr6.json)
+#                                        #   (default out: BENCH_pr7.json)
 #   ci/check.sh --bench-compare OLD NEW  # fail if any benchmark in NEW
 #                                        #   regressed >15% vs OLD
 #   ci/check.sh --format                 # clang-format check (check-only)
@@ -20,20 +22,37 @@ BUILD_DIR=build
 MODE=check
 CMAKE_ARGS=()
 CTEST_ARGS=(--output-on-failure -j "${JOBS}")
-BENCH_OUT=BENCH_pr6.json
+BENCH_OUT=BENCH_pr7.json
 COMPARE_OLD=""
 COMPARE_NEW=""
+WANT_ASAN=0
+WANT_TSAN=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --sanitize)
       shift
+      WANT_ASAN=1
       BUILD_DIR=build-asan
       # Sanitizer runs cover every suite; tests/CMakeLists.txt scales the
       # per-suite timeouts by SMOL_TEST_TIMEOUT_FACTOR to absorb ASan
       # overhead.
       CMAKE_ARGS+=(-DSMOL_SANITIZE=ON -DSMOL_BUILD_BENCH=OFF
                    -DSMOL_BUILD_EXAMPLES=OFF)
+      ;;
+    --tsan)
+      shift
+      WANT_TSAN=1
+      BUILD_DIR=build-tsan
+      # TSan targets the threaded serving stack: the MPMC queue / histogram /
+      # pool primitives, the engine, and the sharded server. The
+      # compute-heavy single-threaded suites add hours under TSan for no
+      # thread coverage, so the run is scoped to the concurrency suites.
+      # SMOL_SANITIZE_THREAD also forces GoogleTest to build from source so
+      # every library in the process is instrumented.
+      CMAKE_ARGS+=(-DSMOL_SANITIZE_THREAD=ON -DSMOL_BUILD_BENCH=OFF
+                   -DSMOL_BUILD_EXAMPLES=OFF)
+      CTEST_ARGS+=(-R 'util_test|runtime_test|serving_test')
       ;;
     --werror)
       shift
@@ -68,11 +87,16 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-# The sanitizer configuration turns the bench targets off, so a sanitized
+# The sanitizer configurations turn the bench targets off, so a sanitized
 # bench smoke cannot exist — reject the combination instead of failing
-# mid-build on a missing bench_micro target.
-if [[ "${MODE}" == bench-smoke && "${BUILD_DIR}" == build-asan ]]; then
-  echo "ci/check.sh: --bench-smoke cannot be combined with --sanitize" >&2
+# mid-build on a missing bench_micro target. ASan and TSan cannot share a
+# process either.
+if [[ "${MODE}" == bench-smoke && "${BUILD_DIR}" != build ]]; then
+  echo "ci/check.sh: --bench-smoke cannot be combined with --sanitize/--tsan" >&2
+  exit 2
+fi
+if [[ "${WANT_ASAN}" == 1 && "${WANT_TSAN}" == 1 ]]; then
+  echo "ci/check.sh: --sanitize and --tsan are mutually exclusive" >&2
   exit 2
 fi
 
@@ -102,8 +126,19 @@ case "${MODE}" in
     cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
     cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro \
       --target bench_serving
+    # min_time 0.5s, best of 5 randomly interleaved repetitions: a single
+    # 0.1s pass on the 1-core CI host jitters the ~100us microbenches past
+    # the 15% regression gate, and the host's slow phases span minutes —
+    # longer than 5 back-to-back repetitions. Interleaving spreads each
+    # benchmark's repetitions across the whole run so they sample distinct
+    # time windows; timing noise is one-sided (preemption and ambient load
+    # only ever slow a run down), so the merge step below folds repetitions
+    # to their minimum and keeps the bare benchmark name, comparable
+    # across PR snapshots.
     "${BUILD_DIR}/bench/bench_micro" \
-      --benchmark_min_time=0.1 \
+      --benchmark_min_time=0.5 \
+      --benchmark_repetitions=5 \
+      --benchmark_enable_random_interleaving=true \
       --benchmark_out="${BUILD_DIR}/bench_micro_smoke.json" \
       --benchmark_out_format=json
     # bench_serving carries its own pass/fail (throughput + cache checks)
@@ -117,6 +152,25 @@ import json, sys
 micro, serving, out = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(micro, encoding="utf-8") as f:
     doc = json.load(f)
+# Fold repetition rows (name/repetitions:N or plain repeats of one name)
+# to the fastest repetition per benchmark; aggregate rows (_mean etc.)
+# are dropped. Snapshot rows keep the bare name and look like a single
+# iteration run so bench_compare matches them against older snapshots.
+best = {}
+order = []
+for b in doc["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b.get("run_name") or b.get("name", "")
+    b["name"] = name
+    b["run_type"] = "iteration"
+    b.pop("repetition_index", None)
+    if name not in best:
+        best[name] = b
+        order.append(name)
+    elif b.get("real_time", 0.0) < best[name].get("real_time", 0.0):
+        best[name] = b
+doc["benchmarks"] = [best[n] for n in order]
 with open(serving, encoding="utf-8") as f:
     doc["benchmarks"].extend(json.load(f)["benchmarks"])
 with open(out, "w", encoding="utf-8") as f:

@@ -8,12 +8,58 @@
 #ifndef SMOL_HW_DEVICE_H_
 #define SMOL_HW_DEVICE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/util/result.h"
 
 namespace smol {
+
+/// \brief Cumulative per-device execution counters.
+///
+/// Shared by every Device implementation so the serving runtime can roll a
+/// fleet's counters up into one ServerStats without knowing device types.
+struct DeviceStats {
+  uint64_t batches = 0;
+  uint64_t images = 0;
+  uint64_t max_batch = 0;         ///< largest single batch submitted
+  uint64_t bytes = 0;             ///< total input bytes transferred
+  uint64_t chunks = 0;            ///< total scatter-gather descriptors
+  double compute_seconds = 0.0;   ///< modelled device-busy time
+  double transfer_seconds = 0.0;  ///< modelled DMA time
+};
+
+/// \brief One inference device behind the serving runtime.
+///
+/// The runtime's per-shard batchers drive exactly this surface: submit a
+/// coalesced batch, drain in-flight work at shutdown, read counters, and ask
+/// for modelled capacity so dispatch policies can weight heterogeneous
+/// fleets. SimAccelerator is the calibrated wall-clock implementation; a real
+/// CUDA/TensorRT backend would slot in behind the same four calls.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Executes one batch of \p batch_size images totalling \p input_bytes,
+  /// submitted as \p chunks scatter-gather descriptors (1 = contiguous).
+  /// Blocks the calling thread until the batch completes.
+  virtual void ExecuteBatch(int batch_size, size_t input_bytes, bool pinned,
+                            int chunks = 1) = 0;
+
+  /// Blocks until every in-flight ExecuteBatch has completed.
+  virtual void Drain() = 0;
+
+  virtual DeviceStats stats() const = 0;
+
+  /// Modelled steady-state serving capacity (images/second) — the weight the
+  /// capacity-aware dispatch policy uses for heterogeneous fleets.
+  virtual double capacity_ims() const = 0;
+
+  /// Human-readable device name ("T4#1", ...) for per-shard stats.
+  virtual const std::string& name() const = 0;
+};
 
 /// GPU generations benchmarked in the paper (Table 5).
 enum class GpuModel { kK80, kP100, kV100, kT4, kRtx };

@@ -1,0 +1,47 @@
+#include "src/hw/fleet.h"
+
+#include <utility>
+
+#include "src/hw/throughput_model.h"
+#include "src/util/macros.h"
+
+namespace smol {
+
+Result<std::vector<std::shared_ptr<Device>>> MakeSimFleet(
+    const std::vector<GpuModel>& gpus, const FleetOptions& options) {
+  if (gpus.empty()) return Status::InvalidArgument("empty fleet");
+  DnnThroughputModel model;
+  std::vector<std::shared_ptr<Device>> fleet;
+  fleet.reserve(gpus.size());
+  for (size_t i = 0; i < gpus.size(); ++i) {
+    SMOL_ASSIGN_OR_RETURN(
+        const double throughput,
+        model.Throughput(options.arch, gpus[i], options.batch_size,
+                         options.framework));
+    SimAccelerator::Options device;
+    device.gpu = gpus[i];
+    device.dnn_throughput_ims = throughput;
+    device.num_streams = options.num_streams;
+    device.transfer = options.transfer;
+    device.time_scale = options.time_scale;
+    device.name = std::string(GpuModelName(gpus[i])) + "#" + std::to_string(i);
+    fleet.push_back(std::make_shared<SimAccelerator>(std::move(device)));
+  }
+  return fleet;
+}
+
+std::vector<std::shared_ptr<Device>> MakeHomogeneousFleet(
+    int count, SimAccelerator::Options base) {
+  if (count < 1) count = 1;
+  if (base.name.empty()) base.name = GpuModelName(base.gpu);
+  std::vector<std::shared_ptr<Device>> fleet;
+  fleet.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    SimAccelerator::Options device = base;
+    device.name = base.name + "#" + std::to_string(i);
+    fleet.push_back(std::make_shared<SimAccelerator>(std::move(device)));
+  }
+  return fleet;
+}
+
+}  // namespace smol

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 namespace smol {
 
-SimAccelerator::SimAccelerator(Options options) : options_(options) {
+SimAccelerator::SimAccelerator(Options options) : options_(std::move(options)) {
   if (options_.dnn_throughput_ims <= 0.0) options_.dnn_throughput_ims = 1.0;
   if (options_.time_scale <= 0.0) options_.time_scale = 1.0;
+  if (options_.name.empty()) options_.name = GpuModelName(options_.gpu);
 }
 
 void SimAccelerator::SleepModeled(double modeled_seconds) {
@@ -58,6 +60,23 @@ void SimAccelerator::ExecuteBatch(int batch_size, size_t input_bytes,
   stats_.chunks += static_cast<uint64_t>(chunks);
   stats_.compute_seconds += compute_s;
   stats_.transfer_seconds += transfer_s;
+}
+
+void SimAccelerator::Drain() {
+  // ExecuteBatch is synchronous, so "in flight" means a caller currently
+  // holds one of the engines. Taking both (in the DMA -> compute order the
+  // overlapped path uses) waits those callers out; submissions that start
+  // after Drain returns are the caller's problem, as with cudaDeviceSync.
+  std::lock_guard<std::mutex> dma(dma_mutex_);
+  std::lock_guard<std::mutex> compute(compute_mutex_);
+}
+
+double SimAccelerator::capacity_ims() const {
+  double per_image_s = 1.0 / options_.dnn_throughput_ims;
+  if (options_.gpu_preproc_throughput_ims > 0.0) {
+    per_image_s += 1.0 / options_.gpu_preproc_throughput_ims;
+  }
+  return 1.0 / per_image_s;
 }
 
 SimAccelerator::Stats SimAccelerator::stats() const {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 
 #include "src/hw/device.h"
 #include "src/hw/transfer.h"
@@ -22,7 +23,7 @@
 namespace smol {
 
 /// \brief Wall-clock simulator of one inference accelerator.
-class SimAccelerator {
+class SimAccelerator : public Device {
  public:
   struct Options {
     GpuModel gpu = GpuModel::kT4;
@@ -36,6 +37,8 @@ class SimAccelerator {
     /// Scales all modelled durations (1.0 = real time). Benches may shrink
     /// durations to run faster; ratios between stages are preserved.
     double time_scale = 1.0;
+    /// Display name for fleet stats; empty = the GPU model's name.
+    std::string name;
   };
 
   explicit SimAccelerator(Options options);
@@ -45,19 +48,21 @@ class SimAccelerator {
   /// scatter-gather descriptor count of the submission (1 = contiguous;
   /// the zero-copy runtime submits one chunk per pooled sample buffer).
   void ExecuteBatch(int batch_size, size_t input_bytes, bool pinned,
-                    int chunks = 1);
+                    int chunks = 1) override;
 
-  /// Cumulative counters.
-  struct Stats {
-    uint64_t batches = 0;
-    uint64_t images = 0;
-    uint64_t max_batch = 0;         // largest single batch submitted
-    uint64_t bytes = 0;             // total input bytes transferred
-    uint64_t chunks = 0;            // total scatter-gather descriptors
-    double compute_seconds = 0.0;   // modelled device-busy time
-    double transfer_seconds = 0.0;  // modelled DMA time
-  };
-  Stats stats() const;
+  /// Every ExecuteBatch blocks until its batch completes, so draining only
+  /// has to wait out submissions still holding the engines.
+  void Drain() override;
+
+  /// Cumulative counters (the fleet-generic DeviceStats).
+  using Stats = DeviceStats;
+  Stats stats() const override;
+
+  /// Modelled images/second at steady state: the DNN rate, in series with
+  /// the device-side preprocessing rate when any is placed there.
+  double capacity_ims() const override;
+
+  const std::string& name() const override { return options_.name; }
 
   const Options& options() const { return options_; }
 

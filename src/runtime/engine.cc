@@ -1,10 +1,13 @@
 #include "src/runtime/engine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "src/hw/fleet.h"
 #include "src/runtime/server.h"
 #include "src/util/stopwatch.h"
 
@@ -22,12 +25,15 @@ Engine::Engine(EngineOptions options, PipelineSpec pipeline_spec,
       decode_(std::move(decode)),
       accel_(std::move(accel)) {
   if (options_.num_producers <= 0) {
-    options_.num_producers =
-        static_cast<int>(std::thread::hardware_concurrency());
-    if (options_.num_producers <= 0) options_.num_producers = 2;
+    // §8.1: vCPUs are hyperthreads — size the worker pool by their effective
+    // parallelism (matches the Server's own default).
+    const int vcpus = static_cast<int>(std::thread::hardware_concurrency());
+    options_.num_producers = std::max(
+        1, static_cast<int>(std::ceil(EffectiveCores(std::max(vcpus, 1)))));
   }
   if (!options_.enable_threading) options_.num_producers = 1;
   if (options_.num_consumers <= 0) options_.num_consumers = 1;
+  if (options_.num_devices < 1) options_.num_devices = 1;
 
   plan_ = CompilePipelinePlan(pipeline_spec_, options_.enable_dag_opt);
 }
@@ -47,6 +53,13 @@ Result<EngineStats> Engine::Run(const std::vector<WorkItem>& items) {
   server_options.max_queue_delay_us = 1e9;
   server_options.admission_capacity = options_.queue_capacity;
   server_options.overload = OverloadPolicy::kBlock;
+  // Device-count axis: replicate the accelerator's options into a
+  // homogeneous fleet of num_devices shards (the constructor accelerator
+  // serves alone when num_devices <= 1).
+  if (options_.num_devices > 1) {
+    server_options.devices =
+        MakeHomogeneousFleet(options_.num_devices, accel_->options());
+  }
   Server server(server_options, pipeline_spec_, plan_, decode_, accel_);
 
   // Submission stops at the first failure (like the pre-Server producer

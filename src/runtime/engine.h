@@ -43,10 +43,14 @@ struct EngineOptions {
   size_t tensor_cache_bytes = 64ull << 20;  ///< cache byte budget
   int tensor_cache_shards = 8;              ///< cache concurrency sharding
 
-  int num_producers = 0;   ///< 0 = hardware concurrency (§6.1 heuristic)
-  int num_consumers = 2;   ///< CUDA-stream analogues
+  int num_producers = 0;   ///< 0 = EffectiveCores(hw concurrency) (§8.1)
+  int num_consumers = 2;   ///< per-shard batcher threads (CUDA streams)
   int queue_capacity = 64;
   int batch_size = 16;
+  /// Device-count axis: > 1 replicates the constructor accelerator's options
+  /// into a homogeneous fleet of this many devices, served as one shard
+  /// each (runtime/server.h). 1 = the classic single-device pipeline.
+  int num_devices = 1;
 };
 
 /// \brief End-to-end run statistics.
@@ -56,8 +60,8 @@ struct EngineStats {
   double throughput_ims = 0.0;
   double decode_seconds = 0.0;      // summed across producers
   double preprocess_seconds = 0.0;  // summed across producers
-  BufferPoolStats buffer_stats;
-  SimAccelerator::Stats accel_stats;
+  BufferPoolStats buffer_stats;     // summed across shard pools
+  DeviceStats accel_stats;          // summed across devices
   TensorCacheStats tensor_cache;  // zeros unless enable_tensor_cache
 };
 

@@ -135,7 +135,7 @@ Result<StagedSample> DecodeAndStage(const WorkItem& item,
   return out;
 }
 
-int SubmitStagedBatch(std::vector<StagedSample>& batch, SimAccelerator& accel) {
+int SubmitStagedBatch(std::vector<StagedSample>& batch, Device& device) {
   if (batch.empty()) return 0;
   size_t bytes = 0;
   bool pinned = true;
@@ -146,7 +146,7 @@ int SubmitStagedBatch(std::vector<StagedSample>& batch, SimAccelerator& accel) {
   const int batch_size = static_cast<int>(batch.size());
   // One scatter-gather descriptor per pooled sample buffer: the batch is
   // gathered by the DMA engine, not copied into a contiguous staging area.
-  accel.ExecuteBatch(batch_size, bytes, pinned, /*chunks=*/batch_size);
+  device.ExecuteBatch(batch_size, bytes, pinned, /*chunks=*/batch_size);
   // Dropping the references recycles each buffer to its pool — unless the
   // tensor cache still holds it, in which case it stays resident for reuse.
   batch.clear();

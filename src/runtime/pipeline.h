@@ -119,11 +119,11 @@ Result<StagedSample> DecodeAndStage(const WorkItem& item,
                                     TensorCache* cache = nullptr,
                                     uint64_t plan_fingerprint = 0);
 
-/// Consumer body: submits one coalesced batch to \p accel as a scatter-gather
-/// list (one chunk per pooled sample buffer) and drops the batch's buffer
-/// references, recycling each buffer to its pool unless the tensor cache
-/// still holds it. Clears \p batch; returns its size.
-int SubmitStagedBatch(std::vector<StagedSample>& batch, SimAccelerator& accel);
+/// Consumer body: submits one coalesced batch to \p device as a
+/// scatter-gather list (one chunk per pooled sample buffer) and drops the
+/// batch's buffer references, recycling each buffer to its pool unless the
+/// tensor cache still holds it. Clears \p batch; returns its size.
+int SubmitStagedBatch(std::vector<StagedSample>& batch, Device& device);
 
 }  // namespace smol
 

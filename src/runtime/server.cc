@@ -1,6 +1,8 @@
 #include "src/runtime/server.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "src/util/cpu_features.h"
@@ -15,36 +17,50 @@ std::chrono::steady_clock::duration MicrosToDuration(double micros) {
       std::chrono::duration<double, std::micro>(std::max(micros, 0.0)));
 }
 
+/// Raises \p target to at least \p value (relaxed max-CAS).
+template <typename T>
+void StoreMax(std::atomic<T>& target, T value) {
+  T observed = target.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
+const char* DispatchPolicyName(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin:
+      return "round-robin";
+    case DispatchPolicy::kLeastLoaded:
+      return "least-loaded";
+    case DispatchPolicy::kCapacityWeighted:
+      return "capacity-weighted";
+  }
+  return "?";
+}
+
 Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
-               DecodeFn decode, std::shared_ptr<SimAccelerator> accel)
+               DecodeFn decode, std::shared_ptr<Device> accel)
     : Server(options, pipeline_spec, AdaptDecodeFn(std::move(decode)),
              std::move(accel)) {}
 
 Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
-               DecodeIntoFn decode, std::shared_ptr<SimAccelerator> accel)
+               DecodeIntoFn decode, std::shared_ptr<Device> accel)
     : Server(options, pipeline_spec,
              CompilePipelinePlan(pipeline_spec, options.engine.enable_dag_opt),
              std::move(decode), std::move(accel)) {}
 
 Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
                PreprocPlan plan, DecodeIntoFn decode,
-               std::shared_ptr<SimAccelerator> accel)
-    : options_(options),
+               std::shared_ptr<Device> accel)
+    : options_(std::move(options)),
       pipeline_spec_(pipeline_spec),
       plan_(std::move(plan)),
       decode_(std::move(decode)),
-      accel_(std::move(accel)),
-      pool_([&options] {
-        BufferPool::Options pool_options;
-        pool_options.enable_reuse = options.engine.enable_memory_reuse;
-        pool_options.pin_buffers = options.engine.enable_pinned;
-        return pool_options;
-      }()),
       admission_(static_cast<size_t>(
-          std::max(options.admission_capacity, 1))),
-      staged_(static_cast<size_t>(std::max(options.engine.queue_capacity, 1))),
+          std::max(options_.admission_capacity, 1))),
       start_time_(std::chrono::steady_clock::now()) {
   EngineOptions& eng = options_.engine;
   if (eng.enable_tensor_cache) {
@@ -55,24 +71,61 @@ Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
     plan_fingerprint_ = PipelinePlanFingerprint(plan_, pipeline_spec_);
   }
   if (eng.num_producers <= 0) {
-    eng.num_producers = static_cast<int>(std::thread::hardware_concurrency());
-    if (eng.num_producers <= 0) eng.num_producers = 2;
+    // §8.1: vCPUs are hyperthreads; size the decode+preproc worker pool by
+    // their effective parallelism, not their nominal count.
+    const int vcpus = static_cast<int>(std::thread::hardware_concurrency());
+    eng.num_producers = std::max(
+        1, static_cast<int>(std::ceil(EffectiveCores(std::max(vcpus, 1)))));
   }
   if (!eng.enable_threading) eng.num_producers = 1;
   if (eng.num_consumers <= 0) eng.num_consumers = 1;
   if (options_.max_batch <= 0) options_.max_batch = 1;
 
+  // The fleet: options.devices, or the single constructor device (M=1).
+  std::vector<std::shared_ptr<Device>> devices = std::move(options_.devices);
+  if (devices.empty() && accel != nullptr) devices.push_back(std::move(accel));
+  if (devices.empty()) {
+    SMOL_LOG(kWarn) << "server constructed with no devices; "
+                       "adding a default SimAccelerator";
+    devices.push_back(std::make_shared<SimAccelerator>(
+        SimAccelerator::Options{}));
+  }
+
+  const int shard_queue_capacity =
+      std::max(options_.shard_queue_capacity > 0 ? options_.shard_queue_capacity
+                                                 : eng.queue_capacity,
+               1);
+  BufferPool::Options pool_options;
+  pool_options.enable_reuse = eng.enable_memory_reuse;
+  pool_options.pin_buffers = eng.enable_pinned;
+  shards_.reserve(devices.size());
+  for (size_t i = 0; i < devices.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = static_cast<int>(i);
+    shard->device = devices[i];
+    shard->capacity_ims = std::max(devices[i]->capacity_ims(), 1.0);
+    shard->pool = std::make_unique<BufferPool>(pool_options);
+    shard->queue = std::make_unique<MpmcQueue<Staged>>(
+        static_cast<size_t>(shard_queue_capacity));
+    shards_.push_back(std::move(shard));
+  }
+
   SMOL_LOG(kInfo) << "server simd dispatch: "
                   << SimdLevelName(ActiveSimdLevel()) << " (detected "
-                  << SimdLevelName(DetectedSimdLevel()) << ")";
+                  << SimdLevelName(DetectedSimdLevel()) << "); " << "fleet of "
+                  << shards_.size() << " device(s), "
+                  << DispatchPolicyName(options_.dispatch) << " dispatch";
 
-  producers_.reserve(static_cast<size_t>(eng.num_producers));
+  workers_.reserve(static_cast<size_t>(eng.num_producers));
   for (int i = 0; i < eng.num_producers; ++i) {
-    producers_.emplace_back([this] { ProducerLoop(); });
+    workers_.emplace_back([this] { WorkerLoop(); });
   }
-  consumers_.reserve(static_cast<size_t>(eng.num_consumers));
-  for (int i = 0; i < eng.num_consumers; ++i) {
-    consumers_.emplace_back([this] { ConsumerLoop(); });
+  for (auto& shard : shards_) {
+    shard->batchers.reserve(static_cast<size_t>(eng.num_consumers));
+    for (int i = 0; i < eng.num_consumers; ++i) {
+      shard->batchers.emplace_back(
+          [this, s = shard.get()] { BatcherLoop(*s); });
+    }
   }
 }
 
@@ -105,6 +158,7 @@ void Server::Submit(WorkItem item, Callback callback) {
 
 void Server::SubmitInternal(WorkItem item, RequestContext ctx) {
   ctx.submit_time = std::chrono::steady_clock::now();
+  const TimePoint submit_time = ctx.submit_time;
   Request request;
   request.item = std::move(item);
   request.ctx = std::move(ctx);
@@ -114,14 +168,23 @@ void Server::SubmitInternal(WorkItem item, RequestContext ctx) {
                             ? admission_.TryPushReclaim(request)
                             : admission_.PushReclaim(request);
   if (accepted) {
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    // Release pairs with the acquire loads in stats(): a submission is
+    // counted before its request can complete.
+    submitted_.fetch_add(1, std::memory_order_release);
+    int64_t unset = -1;
+    first_submit_ns_.compare_exchange_strong(
+        unset,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(submit_time -
+                                                             start_time_)
+            .count(),
+        std::memory_order_relaxed);
     return;
   }
   InferenceReply reply;
   if (admission_.closed()) {
     reply.status = Status::Cancelled("server is shut down");
   } else {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_release);
     reply.status =
         Status::ResourceExhausted("admission queue full: request shed");
   }
@@ -129,18 +192,53 @@ void Server::SubmitInternal(WorkItem item, RequestContext ctx) {
   Complete(request.ctx, reply);
 }
 
-void Server::ProducerLoop() {
+Server::Shard& Server::PickShard() {
+  const size_t count = shards_.size();
+  if (count == 1) return *shards_[0];
+  const uint64_t cursor = rr_cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.dispatch == DispatchPolicy::kRoundRobin) {
+    return *shards_[cursor % count];
+  }
+  // Least-loaded flavours: scan from a rotating offset (so ties — an idle
+  // fleet — degrade to round-robin instead of piling onto shard 0) and keep
+  // the strictly best score.
+  const bool weighted = options_.dispatch == DispatchPolicy::kCapacityWeighted;
+  Shard* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < count; ++i) {
+    Shard& shard = *shards_[(cursor + i) % count];
+    const double outstanding = static_cast<double>(
+        shard.outstanding_bytes.load(std::memory_order_relaxed));
+    // Capacity weighting scores estimated drain time, so a V100 with a deep
+    // queue can still beat an idle K80 on arrival rate — but an idle fast
+    // device always wins outright.
+    const double score = weighted ? outstanding / shard.capacity_ims
+                                  : outstanding;
+    if (score < best_score) {
+      best_score = score;
+      best = &shard;
+    }
+  }
+  return *best;
+}
+
+void Server::WorkerLoop() {
   // Per-thread scratch: the decode image and preproc intermediates keep
-  // their allocations across every item this producer processes.
+  // their allocations across every item this worker processes.
   PipelineScratch scratch;
   while (auto request = admission_.Pop()) {
+    // The dispatch policy runs at stage time: the sample is preprocessed
+    // directly into the chosen shard's private staging pool, so the bytes
+    // never migrate between device arenas.
+    Shard& shard = PickShard();
     Staged staged;
     staged.ctx = std::move(request->ctx);
     auto sample =
-        DecodeAndStage(request->item, decode_, plan_, pipeline_spec_, pool_,
-                       counters_, scratch, cache_.get(), plan_fingerprint_);
+        DecodeAndStage(request->item, decode_, plan_, pipeline_spec_,
+                       *shard.pool, counters_, scratch, cache_.get(),
+                       plan_fingerprint_);
     if (!sample.ok()) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
+      failed_.fetch_add(1, std::memory_order_release);
       InferenceReply reply;
       reply.status = sample.status();
       reply.label = request->item.label;
@@ -148,32 +246,42 @@ void Server::ProducerLoop() {
       continue;
     }
     staged.sample = std::move(sample).MoveValue();
-    // Bounded staged queue: producers block here when consumers fall behind,
-    // which in turn fills admission and pushes back on Submit().
-    if (!staged_.Push(std::move(staged))) break;  // queue closed
+    const uint64_t staged_bytes = staged.sample.buffer->data.size();
+    shard.outstanding_bytes.fetch_add(staged_bytes,
+                                      std::memory_order_relaxed);
+    // Bounded per-shard queue: workers block here when this shard's batcher
+    // falls behind, which in turn fills admission and pushes back on
+    // Submit().
+    if (!shard.queue->Push(std::move(staged))) {
+      shard.outstanding_bytes.fetch_sub(staged_bytes,
+                                        std::memory_order_relaxed);
+      break;  // queue closed
+    }
+    StoreMax(shard.depth_hwm,
+             static_cast<uint64_t>(shard.queue->size()));
   }
 }
 
-void Server::ConsumerLoop() {
+void Server::BatcherLoop(Shard& shard) {
   std::vector<Staged> batch;
   batch.reserve(static_cast<size_t>(options_.max_batch));
   for (;;) {
-    auto first = staged_.Pop();
+    auto first = shard.queue->Pop();
     if (!first) break;  // closed and drained
     batch.push_back(std::move(*first));
     // Dynamic batching: coalesce until full or the delay window expires.
     const TimePoint deadline = std::chrono::steady_clock::now() +
                                MicrosToDuration(options_.max_queue_delay_us);
     while (static_cast<int>(batch.size()) < options_.max_batch) {
-      auto next = staged_.PopUntil(deadline);
+      auto next = shard.queue->PopUntil(deadline);
       if (!next) break;  // window expired, or closed and drained
       batch.push_back(std::move(*next));
     }
-    FlushBatch(batch);
+    FlushBatch(shard, batch);
   }
 }
 
-void Server::FlushBatch(std::vector<Staged>& batch) {
+void Server::FlushBatch(Shard& shard, std::vector<Staged>& batch) {
   if (batch.empty()) return;
   // Capture per-request metadata before the samples are moved into the
   // submission: the seed read staged.sample.label *after* the move below,
@@ -186,13 +294,22 @@ void Server::FlushBatch(std::vector<Staged>& batch) {
   meta.reserve(batch.size());
   std::vector<StagedSample> samples;
   samples.reserve(batch.size());
+  uint64_t batch_bytes = 0;
   for (auto& staged : batch) {
     meta.push_back({staged.sample.label, staged.sample.cache_hit});
+    batch_bytes += staged.sample.buffer->data.size();
     samples.push_back(std::move(staged.sample));
   }
-  const int batch_size = SubmitStagedBatch(samples, *accel_);
+  const int batch_size = SubmitStagedBatch(samples, *shard.device);
+  // The batch is through the device: it no longer counts as shard load.
+  shard.outstanding_bytes.fetch_sub(batch_bytes, std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
+  shard.batches.fetch_add(1, std::memory_order_relaxed);
   const TimePoint now = std::chrono::steady_clock::now();
+  StoreMax(last_completion_ns_,
+           std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                                start_time_)
+               .count());
   for (size_t i = 0; i < batch.size(); ++i) {
     auto& staged = batch[i];
     InferenceReply reply;
@@ -200,11 +317,15 @@ void Server::FlushBatch(std::vector<Staged>& batch) {
     reply.label = meta[i].label;
     reply.cache_hit = meta[i].cache_hit;
     reply.batch_size = batch_size;
+    reply.shard = shard.index;
     reply.latency_us =
         std::chrono::duration<double, std::micro>(now - staged.ctx.submit_time)
             .count();
-    latency_.Record(reply.latency_us);
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    shard.latency.Record(reply.latency_us);
+    // Global then per-shard, both release: stats() reads shard counters
+    // first, so within a snapshot completed >= sum(shard served).
+    completed_.fetch_add(1, std::memory_order_release);
+    shard.served.fetch_add(1, std::memory_order_release);
     Complete(staged.ctx, reply);
   }
   batch.clear();
@@ -215,27 +336,61 @@ void Server::Shutdown() {
   if (stopped_) return;
   stopped_ = true;
   admission_.Close();
-  for (auto& t : producers_) t.join();
-  staged_.Close();
-  for (auto& t : consumers_) t.join();
+  for (auto& t : workers_) t.join();
+  for (auto& shard : shards_) shard->queue->Close();
+  for (auto& shard : shards_) {
+    for (auto& t : shard->batchers) t.join();
+    shard->device->Drain();
+  }
 }
 
 ServerStats Server::stats() const {
   ServerStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.failed = failed_.load(std::memory_order_relaxed);
+  // Read order is the coherence guarantee (see ServerStats): shard counters,
+  // then global completion counters, then admission counters. Each increment
+  // on the write side is a release; these acquires ensure a request counted
+  // at one stage is also counted at every earlier stage of the snapshot.
+  s.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats ss;
+    ss.shard = shard->index;
+    ss.device = shard->device->name();
+    ss.capacity_ims = shard->capacity_ims;
+    ss.served = shard->served.load(std::memory_order_acquire);
+    ss.batches = shard->batches.load(std::memory_order_relaxed);
+    ss.mean_batch = ss.batches > 0 ? static_cast<double>(ss.served) /
+                                         static_cast<double>(ss.batches)
+                                   : 0.0;
+    ss.queue_depth_hwm = shard->depth_hwm.load(std::memory_order_relaxed);
+    ss.outstanding_bytes =
+        shard->outstanding_bytes.load(std::memory_order_relaxed);
+    ss.latency = shard->latency.TakeSnapshot();
+    ss.device_stats = shard->device->stats();
+    ss.buffer_stats = shard->pool->stats();
+    s.shards.push_back(std::move(ss));
+  }
+  s.completed = completed_.load(std::memory_order_acquire);
+  s.failed = failed_.load(std::memory_order_acquire);
+  s.shed = shed_.load(std::memory_order_acquire);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.submitted = submitted_.load(std::memory_order_acquire);
   s.mean_batch = s.batches > 0 ? static_cast<double>(s.completed) /
                                      static_cast<double>(s.batches)
                                : 0.0;
   s.wall_seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start_time_)
                        .count();
+  // Throughput over the active window (first submit -> last completion), so
+  // idle time before a burst does not dilute the number. wall_seconds keeps
+  // the since-construction view.
+  const int64_t first_ns = first_submit_ns_.load(std::memory_order_relaxed);
+  const int64_t last_ns = last_completion_ns_.load(std::memory_order_relaxed);
+  if (first_ns >= 0 && last_ns > first_ns) {
+    s.active_seconds = static_cast<double>(last_ns - first_ns) * 1e-9;
+  }
   s.throughput_ims =
-      s.wall_seconds > 0
-          ? static_cast<double>(s.completed) / s.wall_seconds
+      s.active_seconds > 0
+          ? static_cast<double>(s.completed) / s.active_seconds
           : 0.0;
   s.decode_seconds =
       static_cast<double>(counters_.decode_us.load(std::memory_order_relaxed)) *
@@ -244,9 +399,27 @@ ServerStats Server::stats() const {
       static_cast<double>(
           counters_.preproc_us.load(std::memory_order_relaxed)) *
       1e-6;
-  s.latency = latency_.TakeSnapshot();
-  s.buffer_stats = pool_.stats();
-  s.accel_stats = accel_->stats();
+  // Roll the per-shard views up into the fleet-wide ones: histograms merge
+  // bucket-wise, pool and device counters sum (max_batch takes the max).
+  LatencyHistogram merged;
+  for (const auto& shard : shards_) merged.Merge(shard->latency);
+  s.latency = merged.TakeSnapshot();
+  for (const ShardStats& ss : s.shards) {
+    s.buffer_stats.allocations += ss.buffer_stats.allocations;
+    s.buffer_stats.reuses += ss.buffer_stats.reuses;
+    s.buffer_stats.returns += ss.buffer_stats.returns;
+    s.buffer_stats.trims += ss.buffer_stats.trims;
+    s.buffer_stats.bytes_allocated += ss.buffer_stats.bytes_allocated;
+    s.buffer_stats.bytes_pooled += ss.buffer_stats.bytes_pooled;
+    s.accel_stats.batches += ss.device_stats.batches;
+    s.accel_stats.images += ss.device_stats.images;
+    s.accel_stats.max_batch =
+        std::max(s.accel_stats.max_batch, ss.device_stats.max_batch);
+    s.accel_stats.bytes += ss.device_stats.bytes;
+    s.accel_stats.chunks += ss.device_stats.chunks;
+    s.accel_stats.compute_seconds += ss.device_stats.compute_seconds;
+    s.accel_stats.transfer_seconds += ss.device_stats.transfer_seconds;
+  }
   if (cache_ != nullptr) s.tensor_cache = cache_->stats();
   return s;
 }

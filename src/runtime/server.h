@@ -1,24 +1,39 @@
-// Streaming serving runtime with dynamic batching.
+// Streaming serving runtime: shared admission, dynamic batching, and
+// multi-device sharding.
 //
 // Where the batch Engine (runtime/engine.h) runs one fixed work list to
 // completion, the Server is persistent: callers Submit() individual requests
 // (encoded image + optional ROI) and receive futures or callbacks. Inside,
-// the §6.1 pipeline keeps its shape —
+// the §6.1 pipeline generalizes to a fleet of M devices behind one front
+// end —
 //
-//   Submit -> [admission queue] -> producers: decode + preprocess + stage
-//          -> [staged queue]    -> consumers: dynamic batcher -> accelerator
+//   Submit -> [admission queue] -> workers: decode + preprocess
+//          -> dispatch policy picks a shard, stages into ITS pool
+//          -> [per-shard staged queue] -> per-shard batcher -> device
 //
-// — with two serving-specific additions:
+// — with three serving-specific mechanisms:
 //
-//   Dynamic batching   A consumer starts a batch with the first staged
-//                      sample it pops, then keeps coalescing until the batch
-//                      reaches max_batch or max_queue_delay_us has elapsed,
-//                      so bursty traffic gets full batches and trickling
-//                      traffic keeps bounded latency.
-//   Backpressure       Both queues are bounded. When admission is full,
+//   Dynamic batching   Each shard's batcher starts a batch with the first
+//                      staged sample it pops, then keeps coalescing until
+//                      the batch reaches max_batch or max_queue_delay_us has
+//                      elapsed, so bursty traffic gets full batches and
+//                      trickling traffic keeps bounded latency.
+//   Dispatch           A pluggable policy chooses the shard at stage time:
+//                      round-robin, least-loaded (outstanding bytes), or
+//                      capacity-weighted (outstanding work normalized by the
+//                      device's modelled capacity, for heterogeneous
+//                      fleets). Staging writes into the chosen shard's own
+//                      (pinned) BufferPool, so each device keeps a private
+//                      staging arena.
+//   Backpressure       All queues are bounded. When admission is full,
 //                      Submit either blocks (kBlock, closed-loop callers) or
 //                      completes the request immediately with
-//                      ResourceExhausted (kShed, open-loop traffic).
+//                      ResourceExhausted (kShed, open-loop traffic). A slow
+//                      shard's bounded queue pushes back on the worker that
+//                      picked it.
+//
+// The single-device Server is the degenerate case M=1: one shard, one pool,
+// one batcher — behaviourally identical to the pre-sharding runtime.
 //
 // Shutdown() stops admission, drains every accepted request, and joins the
 // worker threads; the destructor calls it. Every accepted request is
@@ -29,9 +44,11 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/hw/device.h"
 #include "src/hw/sim_accelerator.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/pipeline.h"
@@ -47,6 +64,16 @@ enum class OverloadPolicy {
   kShed,   ///< fail fast with ResourceExhausted (open loop)
 };
 
+/// How the staging workers choose a shard for each preprocessed sample.
+enum class DispatchPolicy {
+  kRoundRobin,        ///< rotate; exact balance for homogeneous fleets
+  kLeastLoaded,       ///< fewest outstanding staged-but-unserved bytes
+  kCapacityWeighted,  ///< least (outstanding bytes / device capacity):
+                      ///< estimated drain time, for heterogeneous fleets
+};
+
+const char* DispatchPolicyName(DispatchPolicy policy);
+
 /// \brief Server configuration: pipeline toggles + serving knobs.
 struct ServerOptions {
   /// Pipeline toggles and thread/queue sizing, shared with the batch engine.
@@ -56,6 +83,13 @@ struct ServerOptions {
   double max_queue_delay_us = 2000.0;  ///< ... or this long after batch start
   int admission_capacity = 256;  ///< bounded admission queue (backpressure)
   OverloadPolicy overload = OverloadPolicy::kBlock;
+
+  /// The device fleet, one shard per device. Empty = serve the single
+  /// accelerator passed to the constructor (the M=1 degenerate case).
+  std::vector<std::shared_ptr<Device>> devices;
+  DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
+  /// Per-shard staged-queue bound; 0 = engine.queue_capacity.
+  int shard_queue_capacity = 0;
 };
 
 /// \brief Completion of one Submit()ed request.
@@ -64,47 +98,76 @@ struct InferenceReply {
   int label = 0;          ///< the item's label, echoed through the pipeline
   double latency_us = 0.0;  ///< submit -> completion wall time
   int batch_size = 0;     ///< size of the coalesced batch it was served in
+  int shard = 0;          ///< which device shard served it
   bool cache_hit = false;  ///< served from the tensor cache (decode skipped)
   bool ok() const { return status.ok(); }
 };
 
-/// \brief Cumulative serving statistics since construction.
-struct ServerStats {
-  uint64_t submitted = 0;  ///< accepted into the pipeline
-  uint64_t completed = 0;  ///< served through the accelerator
-  uint64_t shed = 0;       ///< rejected at admission (kShed policy)
-  uint64_t failed = 0;     ///< accepted but failed (e.g. decode error)
-  uint64_t batches = 0;    ///< accelerator submissions
+/// \brief One device shard's cumulative serving statistics.
+struct ShardStats {
+  int shard = 0;
+  std::string device;        ///< device name ("T4#0", ...)
+  double capacity_ims = 0.0;  ///< the device's modelled capacity
+  uint64_t served = 0;       ///< images completed by this shard
+  uint64_t batches = 0;      ///< device submissions by this shard
   double mean_batch = 0.0;
-  double wall_seconds = 0.0;      ///< since construction
-  double throughput_ims = 0.0;    ///< completed / wall_seconds
-  double decode_seconds = 0.0;    ///< summed across producers
-  double preprocess_seconds = 0.0;
+  uint64_t queue_depth_hwm = 0;   ///< staged-queue depth high-water mark
+  uint64_t outstanding_bytes = 0;  ///< staged-but-unserved bytes right now
   LatencyHistogram::Snapshot latency;  ///< submit -> completion, per request
-  BufferPoolStats buffer_stats;
-  SimAccelerator::Stats accel_stats;
-  TensorCacheStats tensor_cache;  ///< zeros unless enable_tensor_cache
+  DeviceStats device_stats;
+  BufferPoolStats buffer_stats;  ///< this shard's private staging pool
 };
 
-/// \brief Persistent streaming inference server.
+/// \brief Cumulative serving statistics since construction.
+///
+/// Coherence guarantee: stats() reads the per-shard counters first, then the
+/// global completion-side counters, then the admission-side counters, with
+/// acquire/release ordering against the increments. Within one snapshot this
+/// guarantees submitted >= completed + failed and
+/// completed >= sum(shards[i].served) — a mid-run snapshot can trail
+/// in-flight work but never invert the pipeline's causal order.
+struct ServerStats {
+  uint64_t submitted = 0;  ///< accepted into the pipeline
+  uint64_t completed = 0;  ///< served through a device
+  uint64_t shed = 0;       ///< rejected at admission (kShed policy)
+  uint64_t failed = 0;     ///< accepted but failed (e.g. decode error)
+  uint64_t batches = 0;    ///< device submissions, summed over shards
+  double mean_batch = 0.0;
+  double wall_seconds = 0.0;    ///< since construction (for reference)
+  /// First accepted submit -> latest completion. This is the serving window
+  /// throughput is measured over, so an idle-then-bursty workload is not
+  /// diluted by the idle lead-in.
+  double active_seconds = 0.0;
+  double throughput_ims = 0.0;  ///< completed / active_seconds
+  double decode_seconds = 0.0;  ///< summed across workers
+  double preprocess_seconds = 0.0;
+  LatencyHistogram::Snapshot latency;  ///< merged across shards
+  BufferPoolStats buffer_stats;        ///< summed across shard pools
+  DeviceStats accel_stats;  ///< summed across devices (max_batch = max)
+  TensorCacheStats tensor_cache;  ///< zeros unless enable_tensor_cache
+  std::vector<ShardStats> shards;  ///< per-shard breakdown, one per device
+};
+
+/// \brief Persistent streaming inference server over a fleet of devices.
 class Server {
  public:
   using Callback = std::function<void(const InferenceReply&)>;
 
-  /// Starts the producer/consumer threads immediately; compiles the
-  /// preprocessing plan from \p pipeline_spec (§6.2).
+  /// Starts the worker/batcher threads immediately; compiles the
+  /// preprocessing plan from \p pipeline_spec (§6.2). \p accel is the fleet
+  /// when options.devices is empty; ignored (may be null) otherwise.
   Server(ServerOptions options, PipelineSpec pipeline_spec, DecodeFn decode,
-         std::shared_ptr<SimAccelerator> accel);
+         std::shared_ptr<Device> accel);
 
-  /// Allocation-free decode flavour (emits into a per-producer scratch
+  /// Allocation-free decode flavour (emits into a per-worker scratch
   /// image; e.g. wraps SjpgDecodeInto).
   Server(ServerOptions options, PipelineSpec pipeline_spec,
-         DecodeIntoFn decode, std::shared_ptr<SimAccelerator> accel);
+         DecodeIntoFn decode, std::shared_ptr<Device> accel);
 
   /// Same, but reuses \p plan instead of recompiling (the Engine wrapper
   /// passes the plan it already compiled at construction).
   Server(ServerOptions options, PipelineSpec pipeline_spec, PreprocPlan plan,
-         DecodeIntoFn decode, std::shared_ptr<SimAccelerator> accel);
+         DecodeIntoFn decode, std::shared_ptr<Device> accel);
 
   ~Server();
 
@@ -122,12 +185,15 @@ class Server {
   /// workers. Idempotent; called by the destructor.
   void Shutdown();
 
+  /// A coherent snapshot (see ServerStats for the ordering guarantee).
   ServerStats stats() const;
 
   /// The preprocessing plan compiled at construction.
   const PreprocPlan& plan() const { return plan_; }
 
   const ServerOptions& options() const { return options_; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   using TimePoint = std::chrono::steady_clock::time_point;
@@ -148,36 +214,59 @@ class Server {
     RequestContext ctx;
   };
 
+  /// One device shard: private staging pool, bounded staged queue, dynamic
+  /// batcher thread(s), and the counters dispatch + stats read.
+  /// Declaration order is load-bearing: the queue holds Staged samples whose
+  /// buffers recycle into the pool, so the pool must outlive the queue.
+  struct Shard {
+    int index = 0;
+    std::shared_ptr<Device> device;
+    double capacity_ims = 0.0;
+    std::unique_ptr<BufferPool> pool;
+    std::unique_ptr<MpmcQueue<Staged>> queue;
+    LatencyHistogram latency;
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> batches{0};
+    /// Bytes staged to this shard and not yet through the device — the
+    /// load signal the least-loaded / capacity-weighted policies balance.
+    std::atomic<uint64_t> outstanding_bytes{0};
+    std::atomic<uint64_t> depth_hwm{0};
+    std::vector<std::thread> batchers;
+  };
+
   void SubmitInternal(WorkItem item, RequestContext ctx);
   static void Complete(RequestContext& ctx, InferenceReply reply);
-  void ProducerLoop();
-  void ConsumerLoop();
-  void FlushBatch(std::vector<Staged>& batch);
+  Shard& PickShard();
+  void WorkerLoop();
+  void BatcherLoop(Shard& shard);
+  void FlushBatch(Shard& shard, std::vector<Staged>& batch);
 
   ServerOptions options_;
   PipelineSpec pipeline_spec_;
   PreprocPlan plan_;
   uint64_t plan_fingerprint_ = 0;
   DecodeIntoFn decode_;
-  std::shared_ptr<SimAccelerator> accel_;
 
-  // Declaration order is load-bearing: cache_ holds references to pool_'s
-  // buffers (recycled on release), so the cache must be destroyed first.
-  BufferPool pool_;
+  // Declaration order is load-bearing: cache_ holds references to shard
+  // pools' buffers (recycled on release), so the cache must be destroyed
+  // before the shards that own the pools.
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<TensorCache> cache_;  // null unless enable_tensor_cache
   MpmcQueue<Request> admission_;
-  MpmcQueue<Staged> staged_;
-  std::vector<std::thread> producers_;
-  std::vector<std::thread> consumers_;
+  std::vector<std::thread> workers_;  // decode + preprocess + dispatch
 
   PipelineCounters counters_;
-  LatencyHistogram latency_;
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> rr_cursor_{0};  // dispatch rotation / tie-breaking
   TimePoint start_time_;
+  /// Active-window bounds, nanoseconds since start_time_ (-1 = unset):
+  /// first accepted submission and latest completion.
+  std::atomic<int64_t> first_submit_ns_{-1};
+  std::atomic<int64_t> last_completion_ns_{-1};
 
   std::mutex shutdown_mutex_;
   bool stopped_ = false;  // guarded by shutdown_mutex_

@@ -66,6 +66,32 @@ void LatencyHistogram::Record(double micros) {
   }
 }
 
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  uint64_t added = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    added += n;
+  }
+  if (added == 0) return;
+  count_.fetch_add(added, std::memory_order_relaxed);
+  sum_us_.fetch_add(other.sum_us_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const uint64_t other_min = other.min_us_.load(std::memory_order_relaxed);
+  uint64_t observed = min_us_.load(std::memory_order_relaxed);
+  while (other_min < observed &&
+         !min_us_.compare_exchange_weak(observed, other_min,
+                                        std::memory_order_relaxed)) {
+  }
+  const uint64_t other_max = other.max_us_.load(std::memory_order_relaxed);
+  observed = max_us_.load(std::memory_order_relaxed);
+  while (other_max > observed &&
+         !max_us_.compare_exchange_weak(observed, other_max,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
 double LatencyHistogram::PercentileUs(double q) const {
   std::array<uint64_t, kNumBuckets> counts;
   uint64_t total = 0;

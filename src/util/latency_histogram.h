@@ -48,6 +48,15 @@ class LatencyHistogram {
   /// resolution. Returns 0 when empty.
   double PercentileUs(double q) const;
 
+  /// Accumulates \p other's samples into this histogram. Buckets share one
+  /// geometric layout, so the merge is an exact bucket-wise sum: percentiles
+  /// of the merged histogram equal percentiles of the union of samples (up
+  /// to bucket resolution). Safe against concurrent Record on either side;
+  /// a merge under live traffic may trail in-flight records, like
+  /// TakeSnapshot. The serving runtime rolls per-shard histograms into the
+  /// fleet-wide ServerStats this way.
+  void Merge(const LatencyHistogram& other);
+
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
   /// Clears all samples. Not safe against concurrent Record.

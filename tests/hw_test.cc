@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/hw/device.h"
+#include "src/hw/fleet.h"
 #include "src/hw/sim_accelerator.h"
 #include "src/hw/throughput_model.h"
 #include "src/hw/transfer.h"
@@ -244,6 +248,90 @@ TEST(SimAcceleratorTest, TimeScaleShrinksRealTimeNotModeledTime) {
   accel.ExecuteBatch(100, 100, true);  // modeled 100 ms
   EXPECT_LT(sw.ElapsedSeconds(), 0.05);
   EXPECT_NEAR(accel.stats().compute_seconds, 0.1, 1e-6);
+}
+
+// --- Device interface + fleets --------------------------------------------------------
+
+// SimAccelerator is usable purely through the Device interface: submit,
+// drain, stats, capacity, name — no concrete type needed by callers.
+TEST(DeviceInterfaceTest, SimAcceleratorBehindDevicePointer) {
+  SimAccelerator::Options opts;
+  opts.dnn_throughput_ims = 1e5;
+  opts.name = "dev0";
+  std::shared_ptr<Device> device = std::make_shared<SimAccelerator>(opts);
+  device->ExecuteBatch(8, 64, true, 8);
+  device->Drain();  // all submitted work is retired after Drain returns
+  const DeviceStats stats = device->stats();
+  EXPECT_EQ(stats.images, 8u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.chunks, 8u);
+  EXPECT_EQ(device->name(), "dev0");
+  EXPECT_NEAR(device->capacity_ims(), 1e5, 1e-6);
+}
+
+// The device name defaults to the modeled GPU, and capacity folds in the
+// optional on-device preprocessing stage (serial with the DNN).
+TEST(DeviceInterfaceTest, CapacityFoldsInGpuPreprocStage) {
+  SimAccelerator::Options opts;
+  opts.dnn_throughput_ims = 10000.0;
+  SimAccelerator plain(opts);
+  EXPECT_NEAR(plain.capacity_ims(), 10000.0, 1e-6);
+  opts.gpu_preproc_throughput_ims = 10000.0;  // equal time in preproc
+  SimAccelerator fused(opts);
+  EXPECT_NEAR(fused.capacity_ims(), 5000.0, 1e-6);
+}
+
+// Satellite: a fleet can be built from every catalogued GpuSpec, and each
+// device's modeled capacity matches the Table 5 calibration for resnet50.
+TEST(FleetTest, MakeSimFleetCoversEveryGpuSpec) {
+  for (const GpuSpec& spec : AllGpuSpecs()) {
+    auto fleet = MakeSimFleet({spec.model});
+    ASSERT_TRUE(fleet.ok()) << spec.name;
+    ASSERT_EQ(fleet.value().size(), 1u);
+    const Device& device = *fleet.value()[0];
+    EXPECT_EQ(device.name(), spec.name + "#0");
+    // FleetOptions defaults: resnet50 @ batch 64 under TensorRT, which is
+    // exactly the Table 5 calibration anchor.
+    EXPECT_NEAR(device.capacity_ims(), spec.resnet50_throughput,
+                spec.resnet50_throughput * 0.02)
+        << spec.name;
+  }
+}
+
+// The §7 pitch: a heterogeneous fleet in one line.
+TEST(FleetTest, MixedFleetInOneLine) {
+  ASSERT_OK_AND_ASSIGN(
+      auto fleet,
+      MakeSimFleet({GpuModel::kK80, GpuModel::kT4, GpuModel::kV100}));
+  ASSERT_EQ(fleet.size(), 3u);
+  EXPECT_EQ(fleet[0]->name(), "K80#0");
+  EXPECT_EQ(fleet[1]->name(), "T4#1");
+  EXPECT_EQ(fleet[2]->name(), "V100#2");
+  // Capacities preserve the Table 5 ordering.
+  EXPECT_LT(fleet[0]->capacity_ims(), fleet[1]->capacity_ims());
+  EXPECT_LT(fleet[1]->capacity_ims(), fleet[2]->capacity_ims());
+}
+
+TEST(FleetTest, RejectsEmptyAndUnknown) {
+  EXPECT_FALSE(MakeSimFleet({}).ok());
+  FleetOptions bad_arch;
+  bad_arch.arch = "vgg-9000";
+  EXPECT_FALSE(MakeSimFleet({GpuModel::kT4}, bad_arch).ok());
+}
+
+TEST(FleetTest, HomogeneousFleetReplicatesOptions) {
+  SimAccelerator::Options base;
+  base.dnn_throughput_ims = 1234.0;
+  base.name = "sim";
+  const auto fleet = MakeHomogeneousFleet(3, base);
+  ASSERT_EQ(fleet.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fleet[static_cast<size_t>(i)]->name(),
+              "sim#" + std::to_string(i));
+    EXPECT_NEAR(fleet[static_cast<size_t>(i)]->capacity_ims(), 1234.0, 1e-6);
+  }
+  // Degenerate count clamps to one device instead of an empty fleet.
+  EXPECT_EQ(MakeHomogeneousFleet(0, base).size(), 1u);
 }
 
 }  // namespace

@@ -122,6 +122,23 @@ TEST_F(EngineTest, PipelinedThroughputApproachesMin) {
   EXPECT_LT(stats.throughput_ims, 200.0 * 1.3);
 }
 
+// The device-count axis: num_devices > 1 replicates the constructor
+// accelerator into a homogeneous fleet behind the same Run() call. Every
+// image still completes exactly once, and the rolled-up device counters
+// account for all of them (the per-device split is exercised in
+// serving_test; the modeled scaling curve in bench_serving).
+TEST_F(EngineTest, MultiDeviceRunCompletesAllImagesOnce) {
+  EngineOptions opts;
+  opts.batch_size = 4;
+  opts.num_devices = 3;
+  Engine engine(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  ASSERT_OK_AND_ASSIGN(EngineStats stats, engine.Run(items_));
+  EXPECT_EQ(stats.images, items_.size());
+  EXPECT_EQ(stats.accel_stats.images, items_.size());
+  EXPECT_EQ(stats.accel_stats.bytes,
+            items_.size() * 64ull * 64ull * 3ull * sizeof(float));
+}
+
 TEST_F(EngineTest, RoiDecodingReducesDecodeTime) {
   std::vector<WorkItem> roi_items = items_;
   for (auto& item : roi_items) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/codec/sjpg.h"
+#include "src/hw/fleet.h"
 #include "src/runtime/server.h"
 #include "src/util/latency_histogram.h"
 #include "src/util/rng.h"
@@ -351,6 +352,223 @@ TEST_F(ServingTest, CacheOnAndOffProduceIdenticalResults) {
   EXPECT_EQ(staged_bytes[0], staged_bytes[1]);
 }
 
+// --- Multi-device sharding -----------------------------------------------------------
+
+// Explicitly passing a one-device fleet is the documented degenerate case:
+// it must behave exactly like the classic constructor-accelerator path.
+TEST_F(ServingTest, SingleDeviceFleetIsDegenerateCase) {
+  ServerOptions opts;
+  opts.max_batch = 8;
+  opts.engine.num_producers = 2;
+  SimAccelerator::Options accel_opts;
+  accel_opts.dnn_throughput_ims = 1e5;
+  opts.devices = MakeHomogeneousFleet(1, accel_opts);
+  Server server(opts, spec_, DecodeSjpg, nullptr);  // fleet supplies devices
+  EXPECT_EQ(server.num_shards(), 1);
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 32; ++i) replies.push_back(server.Submit(Item(i)));
+  for (auto& r : replies) {
+    const InferenceReply reply = r.get();
+    ASSERT_TRUE(reply.ok()) << reply.status.ToString();
+    EXPECT_EQ(reply.shard, 0);
+  }
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 32u);
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].served, 32u);
+  EXPECT_EQ(stats.shards[0].outstanding_bytes, 0u);
+}
+
+// Round-robin over a homogeneous fleet is exact: the dispatch cursor is a
+// single global atomic, so N requests over M shards land N/M on each.
+TEST_F(ServingTest, RoundRobinDispatchBalancesExactly) {
+  ServerOptions opts;
+  opts.max_batch = 8;
+  opts.engine.num_producers = 2;
+  opts.dispatch = DispatchPolicy::kRoundRobin;
+  SimAccelerator::Options accel_opts;
+  accel_opts.dnn_throughput_ims = 1e5;
+  opts.devices = MakeHomogeneousFleet(4, accel_opts);
+  Server server(opts, spec_, DecodeSjpg, nullptr);
+  EXPECT_EQ(server.num_shards(), 4);
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 64; ++i) replies.push_back(server.Submit(Item(i)));
+  for (auto& r : replies) {
+    const InferenceReply reply = r.get();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_GE(reply.shard, 0);
+    EXPECT_LT(reply.shard, 4);
+  }
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  uint64_t total = 0;
+  for (const ShardStats& shard : stats.shards) {
+    EXPECT_EQ(shard.served, 16u) << "shard " << shard.shard;
+    total += shard.served;
+  }
+  EXPECT_EQ(total, stats.completed);
+}
+
+// Scheduling property (uniform load): least-loaded over a homogeneous fleet
+// must stay balanced — bounded max/min served ratio, no starved shard, and
+// every per-shard queue depth within its configured bound. The global
+// latency rollup must account for exactly the served requests.
+TEST_F(ServingTest, LeastLoadedBalancesUniformLoad) {
+  constexpr int kRequests = 256;
+  ServerOptions opts;
+  opts.max_batch = 8;
+  opts.engine.num_producers = 2;
+  opts.dispatch = DispatchPolicy::kLeastLoaded;
+  opts.shard_queue_capacity = 16;
+  SimAccelerator::Options accel_opts;
+  accel_opts.dnn_throughput_ims = 4000.0;
+  opts.devices = MakeHomogeneousFleet(4, accel_opts);
+  Server server(opts, spec_, DecodeSjpg, nullptr);
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < kRequests; ++i) replies.push_back(server.Submit(Item(i)));
+  for (auto& r : replies) ASSERT_TRUE(r.get().ok());
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kRequests));
+  ASSERT_EQ(stats.shards.size(), 4u);
+  uint64_t min_served = kRequests, max_served = 0, sum_served = 0;
+  uint64_t latency_count = 0;
+  for (const ShardStats& shard : stats.shards) {
+    EXPECT_GT(shard.served, 0u) << "starved shard " << shard.shard;
+    EXPECT_LE(shard.queue_depth_hwm, 16u) << "shard " << shard.shard;
+    EXPECT_EQ(shard.outstanding_bytes, 0u);  // fully drained
+    min_served = std::min(min_served, shard.served);
+    max_served = std::max(max_served, shard.served);
+    sum_served += shard.served;
+    latency_count += shard.latency.count;
+  }
+  EXPECT_EQ(sum_served, static_cast<uint64_t>(kRequests));
+  ASSERT_GT(min_served, 0u);
+  EXPECT_LE(static_cast<double>(max_served) / static_cast<double>(min_served),
+            1.25);
+  // The fleet-wide histogram is the bucket-wise merge of the shard ones.
+  EXPECT_EQ(stats.latency.count, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(latency_count, static_cast<uint64_t>(kRequests));
+}
+
+// Scheduling property (skewed per-shard cost): a 10x-faster device drains
+// its queue 10x quicker, so both load-aware policies must shift work toward
+// it without ever starving the slow device. The devices are modeled far
+// below any host's preprocessing rate (5 + 50 im/s) so the fleet — not the
+// CPU — is the bottleneck even under sanitizer instrumentation; the dispatch
+// decision is then the only thing that shapes the split.
+TEST_F(ServingTest, LoadAwareDispatchAdaptsToSkewedDeviceCosts) {
+  for (DispatchPolicy policy :
+       {DispatchPolicy::kLeastLoaded, DispatchPolicy::kCapacityWeighted}) {
+    SCOPED_TRACE(DispatchPolicyName(policy));
+    constexpr int kRequests = 80;
+    ServerOptions opts;
+    opts.max_batch = 4;
+    opts.engine.num_producers = 2;
+    opts.dispatch = policy;
+    opts.shard_queue_capacity = 4;
+    SimAccelerator::Options slow;
+    slow.dnn_throughput_ims = 5.0;
+    slow.name = "slow";
+    SimAccelerator::Options fast = slow;
+    fast.dnn_throughput_ims = 50.0;
+    fast.name = "fast";
+    opts.devices = {std::make_shared<SimAccelerator>(slow),
+                    std::make_shared<SimAccelerator>(fast)};
+    Server server(opts, spec_, DecodeSjpg, nullptr);
+    std::vector<std::future<InferenceReply>> replies;
+    for (int i = 0; i < kRequests; ++i) {
+      replies.push_back(server.Submit(Item(i)));
+    }
+    for (auto& r : replies) ASSERT_TRUE(r.get().ok());
+    server.Shutdown();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, static_cast<uint64_t>(kRequests));
+    ASSERT_EQ(stats.shards.size(), 2u);
+    const ShardStats& slow_shard = stats.shards[0];
+    const ShardStats& fast_shard = stats.shards[1];
+    EXPECT_EQ(slow_shard.device, "slow");
+    EXPECT_EQ(fast_shard.device, "fast");
+    EXPECT_GT(slow_shard.served, 0u);  // no starvation
+    // The fast device must take the clear majority (it has 10x capacity; we
+    // only require 2x to keep the bound robust to scheduling noise).
+    EXPECT_GE(fast_shard.served, 2 * slow_shard.served);
+    EXPECT_EQ(slow_shard.served + fast_shard.served,
+              static_cast<uint64_t>(kRequests));
+  }
+}
+
+// Satellite: mid-run stats() snapshots never invert the pipeline's causal
+// order — submitted >= completed + failed and completed >= sum(served) in
+// every snapshot, even while a poller races the serving threads.
+TEST_F(ServingTest, StatsSnapshotsAreCoherentMidRun) {
+  ServerOptions opts;
+  opts.max_batch = 4;
+  opts.engine.num_producers = 2;
+  SimAccelerator::Options accel_opts;
+  accel_opts.dnn_throughput_ims = 5000.0;
+  opts.devices = MakeHomogeneousFleet(2, accel_opts);
+  Server server(opts, spec_, DecodeSjpg, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> snapshots{0};
+  std::atomic<uint64_t> violations{0};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const ServerStats s = server.stats();
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+      if (s.submitted < s.completed + s.failed) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      uint64_t served = 0;
+      for (const ShardStats& shard : s.shards) served += shard.served;
+      if (s.completed < served) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 200; ++i) replies.push_back(server.Submit(Item(i)));
+  for (auto& r : replies) ASSERT_TRUE(r.get().ok());
+  server.Shutdown();
+  stop.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_GT(snapshots.load(), 0u);
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(server.stats().completed, 200u);
+}
+
+// Satellite: throughput_ims is measured over the active serving window
+// (first submit -> last completion), so an idle lead-in before the first
+// request no longer dilutes it. wall_seconds still spans construction.
+TEST_F(ServingTest, ThroughputMeasuresActiveWindowNotIdleLeadIn) {
+  ServerOptions opts;
+  opts.max_batch = 8;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // idle lead-in
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 32; ++i) replies.push_back(server.Submit(Item(i)));
+  for (auto& r : replies) ASSERT_TRUE(r.get().ok());
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 32u);
+  ASSERT_GT(stats.active_seconds, 0.0);
+  ASSERT_GT(stats.wall_seconds, 0.0);
+  EXPECT_LT(stats.active_seconds, stats.wall_seconds);
+  const double diluted =
+      static_cast<double>(stats.completed) / stats.wall_seconds;
+  // The 300 ms idle lead-in dwarfs the actual serving window, so the
+  // active-window rate must beat the diluted wall rate by a wide margin.
+  EXPECT_GT(stats.throughput_ims, 1.5 * diluted);
+  EXPECT_NEAR(stats.throughput_ims,
+              static_cast<double>(stats.completed) / stats.active_seconds,
+              1e-6);
+}
+
 // --- LatencyHistogram ----------------------------------------------------------------
 
 TEST(LatencyHistogramTest, EmptySnapshotIsAllZero) {
@@ -427,6 +645,71 @@ TEST(LatencyHistogramTest, ResetClearsEverything) {
   hist.Reset();
   EXPECT_EQ(hist.count(), 0u);
   EXPECT_EQ(hist.TakeSnapshot().max_us, 0.0);
+}
+
+// Merge is the per-shard -> fleet rollup: recording a sample stream split
+// across shard histograms and merging must be indistinguishable (same
+// buckets, so exactly equal percentiles) from recording it into one.
+TEST(LatencyHistogramTest, MergedShardsMatchDirectRecording) {
+  constexpr int kShards = 4;
+  constexpr int kSamples = 100000;
+  LatencyHistogram shards[kShards];
+  LatencyHistogram direct;
+  Rng rng(4321);
+  std::vector<double> samples;
+  samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = std::exp(rng.UniformDouble(std::log(2.0), std::log(1e7)));
+    samples.push_back(v);
+    shards[i % kShards].Record(v);
+    direct.Record(v);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& shard : shards) merged.Merge(shard);
+
+  const auto merged_snap = merged.TakeSnapshot();
+  const auto direct_snap = direct.TakeSnapshot();
+  EXPECT_EQ(merged_snap.count, static_cast<uint64_t>(kSamples));
+  EXPECT_EQ(merged_snap.count, direct_snap.count);
+  EXPECT_DOUBLE_EQ(merged_snap.min_us, direct_snap.min_us);
+  EXPECT_DOUBLE_EQ(merged_snap.max_us, direct_snap.max_us);
+  EXPECT_DOUBLE_EQ(merged_snap.mean_us, direct_snap.mean_us);
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(merged.PercentileUs(q), direct.PercentileUs(q))
+        << "q=" << q;
+  }
+
+  // And both must still track the exact sorted-reference quantiles.
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const auto rank =
+        static_cast<size_t>(std::ceil(q * static_cast<double>(kSamples))) - 1;
+    const double exact = samples[std::min(rank, samples.size() - 1)];
+    EXPECT_NEAR(merged.PercentileUs(q) / exact, 1.0, 0.025) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram hist;
+  hist.Record(50.0);
+  hist.Record(5000.0);
+  const auto before = hist.TakeSnapshot();
+
+  LatencyHistogram empty;
+  hist.Merge(empty);  // merging an empty histogram changes nothing
+  const auto after = hist.TakeSnapshot();
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_DOUBLE_EQ(after.min_us, before.min_us);
+  EXPECT_DOUBLE_EQ(after.max_us, before.max_us);
+  EXPECT_DOUBLE_EQ(after.p50_us, before.p50_us);
+
+  LatencyHistogram fresh;
+  fresh.Merge(hist);  // merging into an empty one copies everything
+  const auto copied = fresh.TakeSnapshot();
+  EXPECT_EQ(copied.count, before.count);
+  EXPECT_DOUBLE_EQ(copied.min_us, before.min_us);
+  EXPECT_DOUBLE_EQ(copied.max_us, before.max_us);
+  EXPECT_DOUBLE_EQ(copied.p50_us, before.p50_us);
 }
 
 }  // namespace

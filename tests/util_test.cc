@@ -439,8 +439,11 @@ TEST(ConcurrencyStressTest, ThreadPoolDrivenBufferPoolNoAliasedHandouts) {
         // Stamp the whole first word; another holder of the same allocation
         // would overwrite it before we re-check below.
         std::memcpy(buf->data.data(), &tag, sizeof(tag));
+        // Widen the stamp->recheck window with seq_cst RMWs: full barriers
+        // like a fence, but modeled by TSan (GCC warns that standalone
+        // atomic_thread_fence is unsupported under -fsanitize=thread).
         for (int spin = 0; spin < 50; ++spin) {
-          std::atomic_thread_fence(std::memory_order_seq_cst);
+          tag_source.fetch_add(0, std::memory_order_seq_cst);
         }
         uint32_t readback = 0;
         std::memcpy(&readback, buf->data.data(), sizeof(readback));
