@@ -50,6 +50,16 @@ inline SysoptWorkload MakeSysoptWorkload(int count, int size,
   return w;
 }
 
+/// The standard bench decode: honors a request ROI, and the adaptive
+/// ladder's multi-resolution lever on full-frame requests (the codec rejects
+/// combining scale_denom with an ROI).
+inline Result<Image> SysoptDecode(const WorkItem& item) {
+  SjpgDecodeOptions opts;
+  opts.roi = item.roi;
+  if (item.roi.empty()) opts.scale_denom = item.decode_scale_denom;
+  return SjpgDecode(*item.bytes, opts);
+}
+
 /// Runs the engine once and returns measured throughput (im/s).
 inline double RunSysoptOnce(const SysoptWorkload& workload,
                             EngineOptions options) {
@@ -61,9 +71,7 @@ inline double RunSysoptOnce(const SysoptWorkload& workload,
   // thread count at producers+1 so producers are not descheduled.
   options.num_consumers = 1;
   auto accel = std::make_shared<SimAccelerator>(aopts);
-  Engine engine(options, workload.spec,
-                [](const WorkItem& item) { return SjpgDecode(*item.bytes); },
-                accel);
+  Engine engine(options, workload.spec, SysoptDecode, accel);
   auto stats = engine.Run(workload.items);
   return stats.ok() ? stats->throughput_ims : 0.0;
 }

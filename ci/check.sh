@@ -8,7 +8,7 @@
 #   ci/check.sh --werror                 # add -DSMOL_WERROR=ON (combinable)
 #   ci/check.sh --bench-smoke [out]      # bench_micro + bench_serving smoke
 #                                        #   -> merged JSON snapshot
-#                                        #   (default out: BENCH_pr7.json)
+#                                        #   (default out: BENCH_pr8.json)
 #   ci/check.sh --bench-compare OLD NEW  # fail if any benchmark in NEW
 #                                        #   regressed >15% vs OLD
 #   ci/check.sh --format                 # clang-format check (check-only)
@@ -22,7 +22,7 @@ BUILD_DIR=build
 MODE=check
 CMAKE_ARGS=()
 CTEST_ARGS=(--output-on-failure -j "${JOBS}")
-BENCH_OUT=BENCH_pr7.json
+BENCH_OUT=BENCH_pr8.json
 COMPARE_OLD=""
 COMPARE_NEW=""
 WANT_ASAN=0
@@ -141,10 +141,11 @@ case "${MODE}" in
       --benchmark_enable_random_interleaving=true \
       --benchmark_out="${BUILD_DIR}/bench_micro_smoke.json" \
       --benchmark_out_format=json
-    # bench_serving carries its own pass/fail (throughput + cache checks)
-    # and emits the headline rows (poisson max load, zipf cache off/on) in
-    # google-benchmark format for the same regression gate.
-    "${BUILD_DIR}/bench/bench_serving" \
+    # bench_serving carries its own pass/fail (throughput + cache +
+    # adaptive-ladder checks) and emits the headline rows (poisson max load,
+    # zipf cache off/on, adaptive burst static/on) in google-benchmark
+    # format for the same regression gate.
+    "${BUILD_DIR}/bench/bench_serving" --adaptive \
       --json "${BUILD_DIR}/bench_serving_smoke.json"
     python3 - "${BUILD_DIR}/bench_micro_smoke.json" \
       "${BUILD_DIR}/bench_serving_smoke.json" "${BENCH_OUT}" <<'PY'

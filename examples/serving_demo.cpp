@@ -9,6 +9,9 @@
 //    instead of queueing without bound.
 // 5. Serve a heterogeneous K80+T4+V100 fleet behind one front end with
 //    capacity-weighted dispatch, and read the per-shard split.
+// 6. Turn on load-adaptive plan selection: a ladder of cheaper preprocessing
+//    plans, a controller that degrades latency-SLO traffic under a burst and
+//    recovers afterwards, and replies that report the rung that served them.
 //
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/examples/example_serving_demo
@@ -30,6 +33,9 @@ namespace {
 Result<Image> DecodeSjpg(const WorkItem& item) {
   SjpgDecodeOptions opts;
   opts.roi = item.roi;
+  // The adaptive ladder's multi-resolution decode lever; the codec rejects
+  // combining it with an ROI, so it only applies to full-frame requests.
+  if (item.roi.empty()) opts.scale_denom = item.decode_scale_denom;
   return SjpgDecode(*item.bytes, opts);
 }
 
@@ -87,10 +93,10 @@ int main() {
 
     std::vector<std::future<InferenceReply>> replies;
     for (int i = 0; i < 64; ++i) {
-      WorkItem item;
-      item.bytes = &encoded[static_cast<size_t>(i)];
-      item.label = i;
-      replies.push_back(server.Submit(item));
+      InferenceRequest request;
+      request.bytes = &encoded[static_cast<size_t>(i)];
+      request.label = i;
+      replies.push_back(server.Submit(request));
     }
     for (size_t i = 0; i < replies.size(); ++i) {
       const InferenceReply r = replies[i].get();
@@ -112,9 +118,9 @@ int main() {
                   std::make_shared<SimAccelerator>(accel_opts));
     std::atomic<int> completions{0};
     for (int i = 0; i < 32; ++i) {
-      WorkItem item;
-      item.bytes = &encoded[static_cast<size_t>(i)];
-      server.Submit(item,
+      InferenceRequest request;
+      request.bytes = &encoded[static_cast<size_t>(i)];
+      server.Submit(request,
                     [&completions](const InferenceReply&) { ++completions; });
     }
     server.Shutdown();
@@ -127,7 +133,7 @@ int main() {
     SimAccelerator::Options slow = accel_opts;
     slow.dnn_throughput_ims = 300.0;  // a much slower device...
     ServerOptions opts;
-    opts.engine.queue_capacity = 4;
+    opts.pipeline.queue_capacity = 4;
     opts.admission_capacity = 4;      // ...behind tiny bounded queues
     opts.max_batch = 4;
     opts.overload = OverloadPolicy::kShed;
@@ -135,9 +141,9 @@ int main() {
                   std::make_shared<SimAccelerator>(slow));
     std::vector<std::future<InferenceReply>> replies;
     for (int i = 0; i < 96; ++i) {
-      WorkItem item;
-      item.bytes = &encoded[static_cast<size_t>(i)];
-      replies.push_back(server.Submit(item));
+      InferenceRequest request;
+      request.bytes = &encoded[static_cast<size_t>(i)];
+      replies.push_back(server.Submit(request));
     }
     server.Shutdown();
     int served = 0, shed = 0;
@@ -158,7 +164,7 @@ int main() {
   // (time_scale slows the modeled devices into this host's range so the
   // dispatch decision — not the demo's single CPU — shapes the split.)
   {
-    FleetOptions fleet_opts;
+    SimFleetOptions fleet_opts;
     fleet_opts.time_scale = 8.0;
     auto fleet = MakeSimFleet(
         {GpuModel::kK80, GpuModel::kT4, GpuModel::kV100}, fleet_opts);
@@ -170,9 +176,9 @@ int main() {
     Server server(opts, spec, DecodeSjpg, nullptr);
     std::vector<std::future<InferenceReply>> replies;
     for (int i = 0; i < 96; ++i) {
-      WorkItem item;
-      item.bytes = &encoded[static_cast<size_t>(i)];
-      replies.push_back(server.Submit(item));
+      InferenceRequest request;
+      request.bytes = &encoded[static_cast<size_t>(i)];
+      replies.push_back(server.Submit(request));
     }
     for (auto& reply : replies) SMOL_CHECK_OK(reply.get().status);
     server.Shutdown();
@@ -188,6 +194,61 @@ int main() {
                   shard.latency.p50_us / 1000.0);
     }
     PrintStats("\nMixed-fleet run:", s);
+  }
+
+  // --- 6. Load-adaptive plan selection. ------------------------------------
+  //
+  // Three ladder rungs (full fidelity, 0.75x, 0.55x geometry — the cheaper
+  // rungs also decode at reduced resolution straight from the DCT domain).
+  // A slow device plus a burst of latency-SLO traffic against a small
+  // blocking admission queue keeps the fill at capacity for the whole run,
+  // so the controller steps down the ladder while the burst is in flight
+  // and the replies say which rung served them. Best-accuracy requests
+  // would stay pinned to rung 0 throughout.
+  {
+    SimAccelerator::Options slow = accel_opts;
+    slow.dnn_throughput_ims = 400.0;
+    ServerOptions opts;
+    opts.max_batch = 8;
+    opts.admission_capacity = 16;
+    opts.overload = OverloadPolicy::kBlock;
+    opts.adaptive.ladder_scales = {1.0, 0.75, 0.55};
+    opts.adaptive.controller.sample_interval_us = 2000.0;
+    Server server(opts, spec, DecodeSjpg,
+                  std::make_shared<SimAccelerator>(slow));
+
+    std::printf("Plan ladder (%zu rungs):\n", server.ladder().size());
+    for (const PlanRung& rung : server.ladder()) {
+      std::printf("  %-12s scale %.2f  decode 1/%d  est. cost %.2fx\n",
+                  rung.name.c_str(), rung.scale, rung.decode_scale_denom,
+                  rung.relative_cost);
+    }
+
+    std::vector<std::future<InferenceReply>> replies;
+    for (int i = 0; i < 192; ++i) {
+      InferenceRequest request;
+      request.bytes = &encoded[static_cast<size_t>(i) % encoded.size()];
+      request.label = i;
+      request.klass = RequestClass::kLatencySlo;
+      replies.push_back(server.Submit(request));
+    }
+    server.Shutdown();
+
+    std::vector<int> by_rung(server.ladder().size(), 0);
+    int degraded = 0;
+    for (auto& reply : replies) {
+      const InferenceReply r = reply.get();
+      if (!r.ok()) continue;
+      ++by_rung[static_cast<size_t>(r.plan_rung)];
+      if (r.degraded) ++degraded;
+    }
+    std::printf("\nBurst of 192 latency-SLO requests on a slow device:\n");
+    for (size_t i = 0; i < by_rung.size(); ++i) {
+      std::printf("  rung %zu served %d\n", i, by_rung[i]);
+    }
+    const ServerStats s = server.stats();
+    std::printf("  %d degraded replies, %llu controller switches\n\n",
+                degraded, static_cast<unsigned long long>(s.plan_switches));
   }
   return 0;
 }

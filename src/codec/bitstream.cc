@@ -47,12 +47,9 @@ std::vector<uint8_t> BitWriter::Finish() {
 }
 
 Result<uint32_t> BitReader::ReadBits(int nbits) {
-  uint32_t value = 0;
-  for (int i = 0; i < nbits; ++i) {
-    const int bit = ReadBit();
-    if (bit < 0) return Status::Corruption("bitstream truncated");
-    value = (value << 1) | static_cast<uint32_t>(bit);
-  }
+  if (nbits == 0) return 0u;
+  const uint32_t value = PeekBits(nbits);
+  if (!SkipBits(nbits)) return Status::Corruption("bitstream truncated");
   return value;
 }
 

@@ -3,6 +3,7 @@
 #define SMOL_CODEC_BITSTREAM_H_
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "src/util/result.h"
@@ -46,6 +47,39 @@ class BitReader {
 
   /// Reads \p nbits (<= 24) bits MSB-first. Fails past end of stream.
   Result<uint32_t> ReadBits(int nbits);
+
+  /// Returns the next \p nbits (1..24) bits MSB-first without consuming
+  /// them, zero-padded past the end of the stream (hot path, no Status).
+  uint32_t PeekBits(int nbits) const {
+    uint64_t window;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    if (byte_pos_ + 8 <= size_) {
+      // Hot path: one unaligned load covers bit_pos_ + nbits (< 33 bits).
+      std::memcpy(&window, data_ + byte_pos_, 8);
+      window = __builtin_bswap64(window);
+      return static_cast<uint32_t>((window >> (64 - bit_pos_ - nbits)) &
+                                   ((1u << nbits) - 1u));
+    }
+#endif
+    window = 0;
+    for (int i = 0; i < 5; ++i) {
+      window = (window << 8) |
+               (byte_pos_ + i < size_ ? data_[byte_pos_ + i] : 0u);
+    }
+    return static_cast<uint32_t>((window >> (40 - bit_pos_ - nbits)) &
+                                 ((1u << nbits) - 1u));
+  }
+
+  /// Consumes \p nbits bits; false if that would pass the end of the stream
+  /// (the position is left unchanged on failure).
+  bool SkipBits(int nbits) {
+    const size_t target = byte_pos_ * 8 + static_cast<size_t>(bit_pos_) +
+                          static_cast<size_t>(nbits);
+    if (target > size_ * 8) return false;
+    byte_pos_ = target >> 3;
+    bit_pos_ = static_cast<int>(target & 7);
+    return true;
+  }
 
   /// Reads a single bit; -1 on end of stream (hot path, no Status).
   int ReadBit() {

@@ -159,28 +159,102 @@ void InverseDct8x8(const float in[64], int16_t out[64]) {
   }
 }
 
-void InverseDctScaled(const float in[64], int n, int16_t* out) {
-  // The top-left n x n of an 8x8 DCT, rescaled by n/8, is the n x n DCT of
-  // the box-downsampled block; invert it with the n-point orthonormal basis.
-  const double scale_fix = static_cast<double>(n) / 8.0;
-  for (int y = 0; y < n; ++y) {
-    for (int x = 0; x < n; ++x) {
-      double acc = 0.0;
-      for (int v = 0; v < n; ++v) {
-        const double sv = (v == 0) ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
-        const double cy =
-            std::cos((2.0 * y + 1.0) * v * 3.14159265358979323846 / (2.0 * n));
-        for (int u = 0; u < n; ++u) {
-          const double su =
-              (u == 0) ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
-          const double cx = std::cos((2.0 * x + 1.0) * u *
-                                     3.14159265358979323846 / (2.0 * n));
-          acc += sv * su * cy * cx * in[v * 8 + u];
+namespace {
+
+// Precomputed n-point inverse bases for the scaled decode path, folding in
+// the n/8 rescale: b[n][u * n + x] = scale(u, n) * cos((2x+1) u pi / 2n).
+// Recomputing the transcendentals per coefficient made the n=4 (denom 2)
+// inverse cost more than a full SIMD 8x8 IDCT, so a "cheaper" rung decoded
+// slower than full fidelity.
+struct ScaledDctBasis {
+  float b[9][64];
+  ScaledDctBasis() {
+    for (int n = 1; n <= 8; ++n) {
+      for (int u = 0; u < n; ++u) {
+        const double scale =
+            (u == 0) ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+        for (int x = 0; x < n; ++x) {
+          b[n][u * n + x] = static_cast<float>(
+              scale *
+              std::cos((2.0 * x + 1.0) * u * 3.14159265358979323846 /
+                       (2.0 * n)));
         }
       }
-      double val = acc * scale_fix;
-      if (val > 255.0) val = 255.0;
-      if (val < -256.0) val = -256.0;
+    }
+  }
+};
+const ScaledDctBasis kScaledBasis;
+
+#if SMOL_SIMD_X86
+
+// 4-point scaled inverse (the denom-2 rung's workhorse) in baseline SSE2:
+// both passes are broadcast-multiply-accumulates over 4-wide basis rows,
+// with the same clamp + round-half-away-from-zero tail as the 8x8 path.
+void InverseDctScaled4x4Sse2(const float in[64], const float* basis,
+                             int16_t* out) {
+  __m128 tmp[4];
+  for (int v = 0; v < 4; ++v) {
+    __m128 acc = _mm_setzero_ps();
+    for (int u = 0; u < 4; ++u) {
+      acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(in[v * 8 + u]),
+                                       _mm_loadu_ps(basis + u * 4)));
+    }
+    tmp[v] = acc;
+  }
+  const __m128 scale = _mm_set1_ps(0.5f);  // n / 8
+  const __m128 hi = _mm_set1_ps(255.0f);
+  const __m128 lo = _mm_set1_ps(-256.0f);
+  const __m128 half = _mm_set1_ps(0.5f);
+  const __m128 sign_mask = _mm_set1_ps(-0.0f);
+  for (int y = 0; y < 4; ++y) {
+    __m128 acc = _mm_setzero_ps();
+    for (int v = 0; v < 4; ++v) {
+      acc = _mm_add_ps(acc,
+                       _mm_mul_ps(_mm_set1_ps(basis[v * 4 + y]), tmp[v]));
+    }
+    acc = _mm_max_ps(_mm_min_ps(_mm_mul_ps(acc, scale), hi), lo);
+    const __m128 sign_half = _mm_or_ps(_mm_and_ps(acc, sign_mask), half);
+    const __m128i iv = _mm_cvttps_epi32(_mm_add_ps(acc, sign_half));
+    const __m128i i16 = _mm_packs_epi32(iv, iv);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + y * 4), i16);
+  }
+}
+
+#endif  // SMOL_SIMD_X86
+
+}  // namespace
+
+void InverseDctScaled(const float in[64], int n, int16_t* out) {
+  // The top-left n x n of an 8x8 DCT, rescaled by n/8, is the n x n DCT of
+  // the box-downsampled block; invert it with the n-point orthonormal basis,
+  // separably (rows then columns, 2n^3 multiply-adds total).
+  const float* basis = kScaledBasis.b[n];
+#if SMOL_SIMD_X86
+  if (n == 4) {
+    InverseDctScaled4x4Sse2(in, basis, out);
+    return;
+  }
+#endif
+  const float scale_fix = static_cast<float>(n) / 8.0f;
+  float tmp[64];
+  for (int v = 0; v < n; ++v) {
+    for (int x = 0; x < n; ++x) {
+      float acc = 0.0f;
+      for (int u = 0; u < n; ++u) {
+        acc += basis[u * n + x] * in[v * 8 + u];
+      }
+      tmp[v * n + x] = acc;
+    }
+  }
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      float acc = 0.0f;
+      for (int v = 0; v < n; ++v) {
+        acc += basis[v * n + y] * tmp[v * n + x];
+      }
+      float val = acc * scale_fix;
+      if (val > 255.0f) val = 255.0f;
+      if (val < -256.0f) val = -256.0f;
       out[y * n + x] = static_cast<int16_t>(std::lround(val));
     }
   }

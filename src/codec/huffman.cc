@@ -177,6 +177,20 @@ Status HuffmanTable::BuildFromLengths() {
     ++index;
     prev_len = len;
   }
+  // Lookahead LUT: every kHuffmanLutBits-wide prefix of a short code maps
+  // straight to (symbol, length). Canonical order is shortest-first, so the
+  // fill can stop at the first over-wide code.
+  lut_.assign(1u << kHuffmanLutBits, 0);
+  for (int sym : order) {
+    const int len = lengths_[sym];
+    if (len > kHuffmanLutBits) break;
+    const uint32_t entry =
+        (static_cast<uint32_t>(sym) << 8) | static_cast<uint32_t>(len);
+    const uint32_t base = static_cast<uint32_t>(codes_[sym])
+                          << (kHuffmanLutBits - len);
+    const uint32_t span = 1u << (kHuffmanLutBits - len);
+    for (uint32_t i = 0; i < span; ++i) lut_[base + i] = entry;
+  }
   return Status::OK();
 }
 
@@ -224,6 +238,16 @@ void HuffmanTable::EncodeSymbol(BitWriter* writer, int symbol) const {
 }
 
 Result<int> HuffmanTable::DecodeSymbol(BitReader* reader) const {
+  // Fast path: one LUT probe resolves any code of up to kHuffmanLutBits
+  // bits (the peek zero-pads past end-of-stream; SkipBits rejects a match
+  // whose real bits run past the end, so truncation still surfaces).
+  const uint32_t entry = lut_[reader->PeekBits(kHuffmanLutBits)];
+  if (entry != 0) {
+    if (!reader->SkipBits(static_cast<int>(entry & 0xFF))) {
+      return Status::Corruption("bitstream truncated in Huffman");
+    }
+    return static_cast<int>(entry >> 8);
+  }
   // Canonical decode: extend the code one bit at a time; at each length,
   // check whether it falls within [first_code, first_code + count).
   int32_t code = 0;

@@ -17,6 +17,11 @@ namespace smol {
 /// Maximum code length (JPEG's limit).
 inline constexpr int kMaxHuffmanBits = 16;
 
+/// Lookahead width of the decode LUT: codes up to this length decode with a
+/// single table probe; longer (rare) codes fall back to the canonical
+/// bit-at-a-time scan.
+inline constexpr int kHuffmanLutBits = 10;
+
 /// \brief Canonical Huffman code table for a byte-symbol alphabet.
 class HuffmanTable {
  public:
@@ -54,6 +59,10 @@ class HuffmanTable {
   std::vector<uint8_t> lengths_;        // per-symbol code length, 0 = absent
   std::vector<uint16_t> codes_;         // per-symbol canonical code
   std::vector<uint16_t> sorted_symbols_;  // symbols in canonical order
+  // Decode LUT indexed by the next kHuffmanLutBits of the stream: entry
+  // (symbol << 8 | length) for codes short enough to fit, 0 for longer
+  // codes and invalid prefixes (both resolved by the slow path).
+  std::vector<uint32_t> lut_;
   // Canonical decode acceleration: for each length L, the first code value and
   // the index of its symbol in sorted_symbols_.
   int32_t first_code_[kMaxHuffmanBits + 1] = {0};

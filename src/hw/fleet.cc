@@ -8,7 +8,7 @@
 namespace smol {
 
 Result<std::vector<std::shared_ptr<Device>>> MakeSimFleet(
-    const std::vector<GpuModel>& gpus, const FleetOptions& options) {
+    const std::vector<GpuModel>& gpus, const SimFleetOptions& options) {
   if (gpus.empty()) return Status::InvalidArgument("empty fleet");
   DnnThroughputModel model;
   std::vector<std::shared_ptr<Device>> fleet;

@@ -22,7 +22,10 @@
 namespace smol {
 
 /// \brief Knobs shared by every device a fleet factory builds.
-struct FleetOptions {
+///
+/// Named for the simulated-device factories it drives; the engine-level
+/// FleetOptions (runtime/engine.h) is the serving-side fleet shape.
+struct SimFleetOptions {
   /// Reference architecture whose Table 1/2/5 calibration sets each GPU's
   /// modelled throughput (and hence its capacity weight).
   std::string arch = "resnet50";
@@ -37,7 +40,7 @@ struct FleetOptions {
 /// Table 5 throughput for options.arch. Devices are named "<GPU>#<index>".
 /// Fails if any GPU/arch combination is unknown to the throughput model.
 Result<std::vector<std::shared_ptr<Device>>> MakeSimFleet(
-    const std::vector<GpuModel>& gpus, const FleetOptions& options = {});
+    const std::vector<GpuModel>& gpus, const SimFleetOptions& options = {});
 
 /// Builds \p count identical devices from \p base (a homogeneous fleet —
 /// the bench_serving scaling axis). Names get a "#<index>" suffix.

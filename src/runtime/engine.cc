@@ -48,7 +48,10 @@ Result<EngineStats> Engine::Run(const std::vector<WorkItem>& items) {
   // runner wants full batches, so the coalescing window is effectively
   // unbounded — Shutdown() flushes the final partial batch immediately.
   ServerOptions server_options;
-  server_options.engine = options_;
+  // The flat EngineOptions aggregates the composable pieces, so each one
+  // slices off by assignment.
+  server_options.pipeline = options_;
+  server_options.cache = options_;
   server_options.max_batch = options_.batch_size;
   server_options.max_queue_delay_us = 1e9;
   server_options.admission_capacity = options_.queue_capacity;
@@ -71,13 +74,14 @@ Result<EngineStats> Engine::Run(const std::vector<WorkItem>& items) {
   std::mutex error_mutex;
   for (const WorkItem& item : items) {
     if (failed.load()) break;
-    server.Submit(item, [&](const InferenceReply& reply) {
-      if (!reply.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = reply.status;
-        failed.store(true);
-      }
-    });
+    server.Submit(InferenceRequest::FromWorkItem(item),
+                  [&](const InferenceReply& reply) {
+                    if (!reply.ok()) {
+                      std::lock_guard<std::mutex> lock(error_mutex);
+                      if (first_error.ok()) first_error = reply.status;
+                      failed.store(true);
+                    }
+                  });
   }
   server.Shutdown();  // drains every accepted request
   if (failed.load()) return first_error;

@@ -29,40 +29,59 @@
 
 namespace smol {
 
-/// \brief Engine configuration (the Fig. 7/8 toggles + sizing knobs).
-struct EngineOptions {
-  bool enable_threading = true;   ///< multi-producer preprocessing
-  bool enable_memory_reuse = true;
-  bool enable_pinned = true;
-  bool enable_dag_opt = true;
-  /// Content-addressed cache of preprocessed tensors (util/tensor_cache.h):
-  /// repeated content skips decode + preprocessing and stages the cached
-  /// bytes with no copy. Off by default — it only pays for workloads with
-  /// repeated content, and it trades memory for compute.
-  bool enable_tensor_cache = false;
+/// \brief Preprocessing-pipeline shape: the Fig. 7/8 toggles + the
+/// producer/queue/batch sizing knobs.
+struct PipelineOptions {
+  bool enable_threading = true;  ///< multi-producer preprocessing
+  bool enable_memory_reuse = true;  ///< buffer-pool recycling
+  bool enable_pinned = true;        ///< pinned staging buffers
+  bool enable_dag_opt = true;       ///< optimized preprocessing DAG
+
+  int num_producers = 0;  ///< 0 = EffectiveCores(hw concurrency) (§8.1)
+  int num_consumers = 2;  ///< per-shard batcher threads (CUDA streams)
+  int queue_capacity = 64;  ///< bounded staging-queue depth
+  int batch_size = 16;      ///< device batch size
+};
+
+/// \brief Content-addressed tensor-cache configuration
+/// (util/tensor_cache.h): repeated content skips decode + preprocessing and
+/// stages the cached bytes with no copy. Off by default — it only pays for
+/// workloads with repeated content, and it trades memory for compute.
+struct CacheOptions {
+  bool enable_tensor_cache = false;         ///< master switch
   size_t tensor_cache_bytes = 64ull << 20;  ///< cache byte budget
   int tensor_cache_shards = 8;              ///< cache concurrency sharding
+};
 
-  int num_producers = 0;   ///< 0 = EffectiveCores(hw concurrency) (§8.1)
-  int num_consumers = 2;   ///< per-shard batcher threads (CUDA streams)
-  int queue_capacity = 64;
-  int batch_size = 16;
+/// \brief Fleet shape served by the engine/server.
+struct FleetOptions {
   /// Device-count axis: > 1 replicates the constructor accelerator's options
   /// into a homogeneous fleet of this many devices, served as one shard
   /// each (runtime/server.h). 1 = the classic single-device pipeline.
   int num_devices = 1;
 };
 
+/// \brief Flat engine configuration.
+///
+/// \deprecated Transitional alias for the PR-8 options split: aggregates
+/// PipelineOptions + CacheOptions + FleetOptions so pre-split code using the
+/// flat field set (`opts.batch_size`, `opts.enable_tensor_cache`, ...)
+/// compiles unchanged, and each piece can be sliced off by assignment
+/// (`server_options.pipeline = engine_options;`). New code should hold the
+/// composable structs directly — ServerOptions (runtime/server.h) already
+/// embeds them.
+struct EngineOptions : PipelineOptions, CacheOptions, FleetOptions {};
+
 /// \brief End-to-end run statistics.
 struct EngineStats {
-  uint64_t images = 0;
-  double wall_seconds = 0.0;
-  double throughput_ims = 0.0;
-  double decode_seconds = 0.0;      // summed across producers
-  double preprocess_seconds = 0.0;  // summed across producers
-  BufferPoolStats buffer_stats;     // summed across shard pools
-  DeviceStats accel_stats;          // summed across devices
-  TensorCacheStats tensor_cache;  // zeros unless enable_tensor_cache
+  uint64_t images = 0;              ///< items completed
+  double wall_seconds = 0.0;        ///< submit of first .. drain of last
+  double throughput_ims = 0.0;      ///< images / wall_seconds
+  double decode_seconds = 0.0;      ///< summed across producers
+  double preprocess_seconds = 0.0;  ///< summed across producers
+  BufferPoolStats buffer_stats;     ///< summed across shard pools
+  DeviceStats accel_stats;          ///< summed across devices
+  TensorCacheStats tensor_cache;    ///< zeros unless enable_tensor_cache
 };
 
 /// \brief The pipelined inference engine.

@@ -73,6 +73,8 @@ uint64_t WorkItemContentHash(const WorkItem& item) {
                                       static_cast<int64_t>(item.roi.width)));
   h = TensorCache::HashCombine(h, static_cast<uint64_t>(
                                       static_cast<int64_t>(item.roi.height)));
+  h = TensorCache::HashCombine(
+      h, static_cast<uint64_t>(static_cast<int64_t>(item.decode_scale_denom)));
   return h;
 }
 

@@ -46,6 +46,11 @@ struct WorkItem {
   int label = 0;
   /// Optional ROI for partial decoding (empty = full decode).
   Roi roi;
+  /// Multi-resolution decode denominator (1, 2, 4, or 8): decode at
+  /// 1/denom scale straight from the DCT domain (§6.4), the adaptive
+  /// ladder's cheap-decode lever. Honored by SJPG-backed decode fns when no
+  /// ROI is set (the codec cannot combine the two); 1 = full resolution.
+  int decode_scale_denom = 1;
 };
 
 /// Maps an item to pixels; pluggable so the pipeline serves images

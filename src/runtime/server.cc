@@ -7,6 +7,7 @@
 
 #include "src/util/cpu_features.h"
 #include "src/util/logging.h"
+#include "src/util/tensor_cache.h"
 
 namespace smol {
 
@@ -49,7 +50,8 @@ Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
 Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
                DecodeIntoFn decode, std::shared_ptr<Device> accel)
     : Server(options, pipeline_spec,
-             CompilePipelinePlan(pipeline_spec, options.engine.enable_dag_opt),
+             CompilePipelinePlan(pipeline_spec,
+                                 options.pipeline.enable_dag_opt),
              std::move(decode), std::move(accel)) {}
 
 Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
@@ -62,24 +64,57 @@ Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
       admission_(static_cast<size_t>(
           std::max(options_.admission_capacity, 1))),
       start_time_(std::chrono::steady_clock::now()) {
-  EngineOptions& eng = options_.engine;
-  if (eng.enable_tensor_cache) {
-    TensorCache::Options cache_options;
-    cache_options.capacity_bytes = eng.tensor_cache_bytes;
-    cache_options.shards = eng.tensor_cache_shards;
-    cache_ = std::make_unique<TensorCache>(cache_options);
-    plan_fingerprint_ = PipelinePlanFingerprint(plan_, pipeline_spec_);
+  PipelineOptions& pipe = options_.pipeline;
+  if (options_.cache.enable_tensor_cache) {
+    TensorCache::Options tco;
+    tco.capacity_bytes = options_.cache.tensor_cache_bytes;
+    tco.shards = options_.cache.tensor_cache_shards;
+    cache_ = std::make_unique<TensorCache>(tco);
   }
-  if (eng.num_producers <= 0) {
+  if (pipe.num_producers <= 0) {
     // §8.1: vCPUs are hyperthreads; size the decode+preproc worker pool by
     // their effective parallelism, not their nominal count.
     const int vcpus = static_cast<int>(std::thread::hardware_concurrency());
-    eng.num_producers = std::max(
+    pipe.num_producers = std::max(
         1, static_cast<int>(std::ceil(EffectiveCores(std::max(vcpus, 1)))));
   }
-  if (!eng.enable_threading) eng.num_producers = 1;
-  if (eng.num_consumers <= 0) eng.num_consumers = 1;
+  if (!pipe.enable_threading) pipe.num_producers = 1;
+  if (pipe.num_consumers <= 0) pipe.num_consumers = 1;
   if (options_.max_batch <= 0) options_.max_batch = 1;
+
+  // The plan ladder. Rung 0 is always the constructor plan (so the
+  // precompiled-plan flavour is honored); deeper rungs come from the
+  // adaptive scales. Invalid ladder configurations fall back to static
+  // serving rather than failing construction.
+  PlanRung base;
+  base.name = "rung0 x1.00 d1";
+  base.spec = pipeline_spec_;
+  base.plan = plan_;
+  base.fingerprint = TensorCache::HashCombine(
+      PipelinePlanFingerprint(plan_, pipeline_spec_), 1);
+  ladder_.push_back(std::move(base));
+  if (options_.adaptive.ladder_scales.size() > 1) {
+    auto built = BuildPlanLadder(pipeline_spec_,
+                                 options_.adaptive.ladder_scales,
+                                 pipe.enable_dag_opt);
+    if (built.ok()) {
+      auto& rungs = built.value();
+      for (size_t i = 1; i < rungs.size(); ++i) {
+        ladder_.push_back(std::move(rungs[i]));
+      }
+    } else {
+      SMOL_LOG(kWarn) << "adaptive ladder rejected ("
+                      << built.status().ToString()
+                      << "); serving the static plan";
+    }
+  }
+  for (auto& cc : class_counters_) {
+    cc.served_by_rung.reserve(ladder_.size());
+    for (size_t r = 0; r < ladder_.size(); ++r) {
+      cc.served_by_rung.push_back(
+          std::make_unique<std::atomic<uint64_t>>(0));
+    }
+  }
 
   // The fleet: options.devices, or the single constructor device (M=1).
   std::vector<std::shared_ptr<Device>> devices = std::move(options_.devices);
@@ -93,11 +128,11 @@ Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
 
   const int shard_queue_capacity =
       std::max(options_.shard_queue_capacity > 0 ? options_.shard_queue_capacity
-                                                 : eng.queue_capacity,
+                                                 : pipe.queue_capacity,
                1);
   BufferPool::Options pool_options;
-  pool_options.enable_reuse = eng.enable_memory_reuse;
-  pool_options.pin_buffers = eng.enable_pinned;
+  pool_options.enable_reuse = pipe.enable_memory_reuse;
+  pool_options.pin_buffers = pipe.enable_pinned;
   shards_.reserve(devices.size());
   for (size_t i = 0; i < devices.size(); ++i) {
     auto shard = std::make_unique<Shard>();
@@ -114,18 +149,24 @@ Server::Server(ServerOptions options, PipelineSpec pipeline_spec,
                   << SimdLevelName(ActiveSimdLevel()) << " (detected "
                   << SimdLevelName(DetectedSimdLevel()) << "); " << "fleet of "
                   << shards_.size() << " device(s), "
-                  << DispatchPolicyName(options_.dispatch) << " dispatch";
+                  << DispatchPolicyName(options_.dispatch) << " dispatch, "
+                  << ladder_.size() << " plan rung(s)";
 
-  workers_.reserve(static_cast<size_t>(eng.num_producers));
-  for (int i = 0; i < eng.num_producers; ++i) {
+  workers_.reserve(static_cast<size_t>(pipe.num_producers));
+  for (int i = 0; i < pipe.num_producers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   for (auto& shard : shards_) {
-    shard->batchers.reserve(static_cast<size_t>(eng.num_consumers));
-    for (int i = 0; i < eng.num_consumers; ++i) {
+    shard->batchers.reserve(static_cast<size_t>(pipe.num_consumers));
+    for (int i = 0; i < pipe.num_consumers; ++i) {
       shard->batchers.emplace_back(
           [this, s = shard.get()] { BatcherLoop(*s); });
     }
+  }
+  if (ladder_.size() > 1) {
+    controller_ = std::make_unique<PlanController>(
+        options_.adaptive.controller, static_cast<int>(ladder_.size()));
+    controller_thread_ = std::thread([this] { ControllerLoop(); });
   }
 }
 
@@ -142,25 +183,27 @@ void Server::Complete(RequestContext& ctx, InferenceReply reply) {
   }
 }
 
-std::future<InferenceReply> Server::Submit(WorkItem item) {
+std::future<InferenceReply> Server::Submit(InferenceRequest request) {
   RequestContext ctx;
   ctx.has_promise = true;
   std::future<InferenceReply> future = ctx.promise.get_future();
-  SubmitInternal(std::move(item), std::move(ctx));
+  SubmitInternal(std::move(request), std::move(ctx));
   return future;
 }
 
-void Server::Submit(WorkItem item, Callback callback) {
+void Server::Submit(InferenceRequest request, Callback callback) {
   RequestContext ctx;
   ctx.callback = std::move(callback);
-  SubmitInternal(std::move(item), std::move(ctx));
+  SubmitInternal(std::move(request), std::move(ctx));
 }
 
-void Server::SubmitInternal(WorkItem item, RequestContext ctx) {
+void Server::SubmitInternal(InferenceRequest inference_request,
+                            RequestContext ctx) {
   ctx.submit_time = std::chrono::steady_clock::now();
   const TimePoint submit_time = ctx.submit_time;
+  const int klass = static_cast<int>(inference_request.klass);
   Request request;
-  request.item = std::move(item);
+  request.request = std::move(inference_request);
   request.ctx = std::move(ctx);
   // The Reclaim flavours leave `request` (and its promise) intact when the
   // push is rejected, so the reply below still reaches the caller.
@@ -169,8 +212,10 @@ void Server::SubmitInternal(WorkItem item, RequestContext ctx) {
                             : admission_.PushReclaim(request);
   if (accepted) {
     // Release pairs with the acquire loads in stats(): a submission is
-    // counted before its request can complete.
+    // counted before its request can complete. Global before per-class, so
+    // a snapshot's global counter covers its class split.
     submitted_.fetch_add(1, std::memory_order_release);
+    class_counters_[klass].submitted.fetch_add(1, std::memory_order_release);
     int64_t unset = -1;
     first_submit_ns_.compare_exchange_strong(
         unset,
@@ -181,14 +226,16 @@ void Server::SubmitInternal(WorkItem item, RequestContext ctx) {
     return;
   }
   InferenceReply reply;
+  reply.klass = request.request.klass;
   if (admission_.closed()) {
     reply.status = Status::Cancelled("server is shut down");
   } else {
     shed_.fetch_add(1, std::memory_order_release);
+    class_counters_[klass].shed.fetch_add(1, std::memory_order_release);
     reply.status =
         Status::ResourceExhausted("admission queue full: request shed");
   }
-  reply.label = request.item.label;
+  reply.label = request.request.label;
   Complete(request.ctx, reply);
 }
 
@@ -227,21 +274,52 @@ void Server::WorkerLoop() {
   // their allocations across every item this worker processes.
   PipelineScratch scratch;
   while (auto request = admission_.Pop()) {
+    const InferenceRequest& req = request->request;
+    const int klass = static_cast<int>(req.klass);
+    // A request whose deadline already passed while queued completes
+    // immediately instead of occupying decode + device time.
+    if (req.deadline.has_value() &&
+        std::chrono::steady_clock::now() > *req.deadline) {
+      failed_.fetch_add(1, std::memory_order_release);
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      class_counters_[klass].failed.fetch_add(1, std::memory_order_release);
+      InferenceReply reply;
+      reply.status = Status::DeadlineExceeded("deadline expired in queue");
+      reply.label = req.label;
+      reply.klass = req.klass;
+      Complete(request->ctx, reply);
+      continue;
+    }
+    // Adaptive serving: resolve the class's active rung once per request.
+    // ROI requests pin to rung 0 — the codec cannot combine ROI decode with
+    // multi-resolution decode, and partial decode is already cheap.
+    const int rung = (controller_ != nullptr && req.roi.empty())
+                         ? controller_->RungFor(req.klass)
+                         : 0;
+    const PlanRung& active = ladder_[static_cast<size_t>(rung)];
+    WorkItem item;
+    item.bytes = req.bytes;
+    item.label = req.label;
+    item.roi = req.roi;
+    item.decode_scale_denom = active.decode_scale_denom;
     // The dispatch policy runs at stage time: the sample is preprocessed
     // directly into the chosen shard's private staging pool, so the bytes
     // never migrate between device arenas.
     Shard& shard = PickShard();
     Staged staged;
     staged.ctx = std::move(request->ctx);
+    staged.klass = req.klass;
+    staged.rung = rung;
     auto sample =
-        DecodeAndStage(request->item, decode_, plan_, pipeline_spec_,
-                       *shard.pool, counters_, scratch, cache_.get(),
-                       plan_fingerprint_);
+        DecodeAndStage(item, decode_, active.plan, active.spec, *shard.pool,
+                       counters_, scratch, cache_.get(), active.fingerprint);
     if (!sample.ok()) {
       failed_.fetch_add(1, std::memory_order_release);
+      class_counters_[klass].failed.fetch_add(1, std::memory_order_release);
       InferenceReply reply;
       reply.status = sample.status();
-      reply.label = request->item.label;
+      reply.label = req.label;
+      reply.klass = req.klass;
       Complete(staged.ctx, reply);
       continue;
     }
@@ -312,29 +390,73 @@ void Server::FlushBatch(Shard& shard, std::vector<Staged>& batch) {
                .count());
   for (size_t i = 0; i < batch.size(); ++i) {
     auto& staged = batch[i];
+    ClassCounters& cc = class_counters_[static_cast<int>(staged.klass)];
     InferenceReply reply;
     reply.status = Status::OK();
     reply.label = meta[i].label;
     reply.cache_hit = meta[i].cache_hit;
     reply.batch_size = batch_size;
     reply.shard = shard.index;
+    reply.klass = staged.klass;
+    reply.plan_rung = staged.rung;
+    reply.degraded = staged.rung > 0;
     reply.latency_us =
         std::chrono::duration<double, std::micro>(now - staged.ctx.submit_time)
             .count();
     shard.latency.Record(reply.latency_us);
-    // Global then per-shard, both release: stats() reads shard counters
-    // first, so within a snapshot completed >= sum(shard served).
+    completion_latency_.Record(reply.latency_us);
+    // Global then per-shard / per-class, all release: stats() reads the
+    // split counters first, so within a snapshot completed >= sum(shard
+    // served) and completed >= sum(class completed).
     completed_.fetch_add(1, std::memory_order_release);
     shard.served.fetch_add(1, std::memory_order_release);
+    cc.completed.fetch_add(1, std::memory_order_release);
+    cc.served_by_rung[static_cast<size_t>(staged.rung)]->fetch_add(
+        1, std::memory_order_relaxed);
+    if (staged.rung > 0) cc.degraded.fetch_add(1, std::memory_order_relaxed);
     Complete(staged.ctx, reply);
   }
   batch.clear();
+}
+
+void Server::ControllerLoop() {
+  // The controller samples at a fixed cadence: admission depth and shed
+  // delta say how much pressure the front door is under; the LatencyWindow
+  // says what completions experienced over the elapsed interval (the
+  // cumulative histogram would stop reacting minutes into a run).
+  LatencyWindow window(completion_latency_);
+  uint64_t last_shed = 0;
+  const auto interval =
+      MicrosToDuration(options_.adaptive.controller.sample_interval_us);
+  std::unique_lock<std::mutex> lock(controller_mutex_);
+  while (!controller_stop_) {
+    controller_cv_.wait_for(lock, interval);
+    if (controller_stop_) break;
+    lock.unlock();
+    LoadSignals signals;
+    signals.queue_depth = static_cast<int>(admission_.size());
+    signals.queue_capacity = std::max(options_.admission_capacity, 1);
+    const uint64_t shed_now = shed_.load(std::memory_order_relaxed);
+    signals.shed_delta = shed_now - last_shed;
+    last_shed = shed_now;
+    signals.window = window.Advance();
+    controller_->Observe(signals);
+    lock.lock();
+  }
 }
 
 void Server::Shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
   if (stopped_) return;
   stopped_ = true;
+  if (controller_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> controller_lock(controller_mutex_);
+      controller_stop_ = true;
+    }
+    controller_cv_.notify_all();
+    controller_thread_.join();
+  }
   admission_.Close();
   for (auto& t : workers_) t.join();
   for (auto& shard : shards_) shard->queue->Close();
@@ -346,10 +468,11 @@ void Server::Shutdown() {
 
 ServerStats Server::stats() const {
   ServerStats s;
-  // Read order is the coherence guarantee (see ServerStats): shard counters,
-  // then global completion counters, then admission counters. Each increment
-  // on the write side is a release; these acquires ensure a request counted
-  // at one stage is also counted at every earlier stage of the snapshot.
+  // Read order is the coherence guarantee (see ServerStats): shard and class
+  // counters, then global completion counters, then admission counters. Each
+  // increment on the write side is a release; these acquires ensure a
+  // request counted at one stage is also counted at every earlier stage of
+  // the snapshot.
   s.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     ShardStats ss;
@@ -369,14 +492,38 @@ ServerStats Server::stats() const {
     ss.buffer_stats = shard->pool->stats();
     s.shards.push_back(std::move(ss));
   }
+  s.classes.reserve(kNumRequestClasses);
+  for (int c = 0; c < kNumRequestClasses; ++c) {
+    const ClassCounters& cc = class_counters_[c];
+    ClassStats cs;
+    cs.klass = static_cast<RequestClass>(c);
+    cs.served_by_rung.reserve(cc.served_by_rung.size());
+    for (const auto& rung_count : cc.served_by_rung) {
+      cs.served_by_rung.push_back(
+          rung_count->load(std::memory_order_relaxed));
+    }
+    cs.degraded = cc.degraded.load(std::memory_order_relaxed);
+    cs.completed = cc.completed.load(std::memory_order_acquire);
+    cs.failed = cc.failed.load(std::memory_order_acquire);
+    cs.shed = cc.shed.load(std::memory_order_acquire);
+    cs.submitted = cc.submitted.load(std::memory_order_acquire);
+    s.classes.push_back(std::move(cs));
+  }
   s.completed = completed_.load(std::memory_order_acquire);
   s.failed = failed_.load(std::memory_order_acquire);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_acquire);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.submitted = submitted_.load(std::memory_order_acquire);
   s.mean_batch = s.batches > 0 ? static_cast<double>(s.completed) /
                                      static_cast<double>(s.batches)
                                : 0.0;
+  s.num_rungs = static_cast<int>(ladder_.size());
+  s.active_rung.reserve(kNumRequestClasses);
+  for (int c = 0; c < kNumRequestClasses; ++c) {
+    s.active_rung.push_back(ActiveRung(static_cast<RequestClass>(c)));
+  }
+  s.plan_switches = controller_ != nullptr ? controller_->switches() : 0;
   s.wall_seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start_time_)
                        .count();

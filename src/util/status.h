@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kResourceExhausted = 9,
   kCancelled = 10,
   kInfeasible = 11,  // No plan satisfies the requested constraints.
+  kDeadlineExceeded = 12,  // The request's deadline elapsed before serving.
 };
 
 /// Returns a stable human-readable name for \p code (e.g. "InvalidArgument").
@@ -76,6 +77,9 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

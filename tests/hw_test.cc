@@ -290,7 +290,7 @@ TEST(FleetTest, MakeSimFleetCoversEveryGpuSpec) {
     ASSERT_EQ(fleet.value().size(), 1u);
     const Device& device = *fleet.value()[0];
     EXPECT_EQ(device.name(), spec.name + "#0");
-    // FleetOptions defaults: resnet50 @ batch 64 under TensorRT, which is
+    // SimFleetOptions defaults: resnet50 @ batch 64 under TensorRT, which is
     // exactly the Table 5 calibration anchor.
     EXPECT_NEAR(device.capacity_ims(), spec.resnet50_throughput,
                 spec.resnet50_throughput * 0.02)
@@ -314,7 +314,7 @@ TEST(FleetTest, MixedFleetInOneLine) {
 
 TEST(FleetTest, RejectsEmptyAndUnknown) {
   EXPECT_FALSE(MakeSimFleet({}).ok());
-  FleetOptions bad_arch;
+  SimFleetOptions bad_arch;
   bad_arch.arch = "vgg-9000";
   EXPECT_FALSE(MakeSimFleet({GpuModel::kT4}, bad_arch).ok());
 }

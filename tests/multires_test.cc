@@ -4,6 +4,8 @@
 // coefficient sub-grid).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/codec/dct.h"
 #include "src/codec/sjpg.h"
 #include "src/dnn/trainer.h"
@@ -144,22 +146,35 @@ TEST(ScaledDecodeTest, InvalidCombinationsRejected) {
 TEST(ScaledDecodeTest, ScaledDecodeIsFasterThanFull) {
   const Image img = MakeTestImage(256, 256, 3, 15);
   ASSERT_OK_AND_ASSIGN(auto bytes, SjpgEncode(img, {.quality = 85}));
+  // Min-of-3 so a scheduler preemption mid-pass (ctest runs suites in
+  // parallel on one core) cannot flip the comparison.
   auto time_decode = [&](int denom) {
     SjpgDecodeOptions opts;
     opts.scale_denom = denom;
-    Stopwatch sw;
-    for (int i = 0; i < 20; ++i) {
-      auto out = SjpgDecode(bytes, opts);
-      EXPECT_TRUE(out.ok());
+    double best = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch sw;
+      for (int i = 0; i < 20; ++i) {
+        auto out = SjpgDecode(bytes, opts);
+        EXPECT_TRUE(out.ok());
+      }
+      best = std::min(best, sw.ElapsedMicros());
     }
-    return sw.ElapsedMicros();
+    return best;
   };
   const double full_us = time_decode(1);
+  const double half_us = time_decode(2);
   const double eighth_us = time_decode(8);
   // Entropy decoding is shared; the transform + colorspace work shrinks by
-  // ~64x, so the total must drop clearly.
+  // ~64x at 1/8, so the total must drop clearly.
   EXPECT_LT(eighth_us, full_us * 0.8)
       << "full " << full_us << "us vs 1/8 " << eighth_us << "us";
+  // The 1/2 path (n = 4) must not cost meaningfully more than full decode —
+  // it is the adaptive ladder's workhorse rung, and a naive per-coefficient
+  // inverse once made it ~10x slower than the SIMD full IDCT. The 1.1x
+  // headroom absorbs residual timer noise without masking that pathology.
+  EXPECT_LT(half_us, full_us * 1.1)
+      << "full " << full_us << "us vs 1/2 " << half_us << "us";
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstring>
 #include <future>
 #include <memory>
 #include <thread>
@@ -15,6 +17,8 @@
 
 #include "src/codec/sjpg.h"
 #include "src/hw/fleet.h"
+#include "src/preproc/graph.h"
+#include "src/runtime/plan_controller.h"
 #include "src/runtime/server.h"
 #include "src/util/latency_histogram.h"
 #include "src/util/rng.h"
@@ -41,7 +45,17 @@ class ServingTest : public ::testing::Test {
     spec_.crop_height = 64;
   }
 
-  WorkItem Item(int i) const {
+  InferenceRequest Item(
+      int i, RequestClass klass = RequestClass::kBestAccuracy) const {
+    InferenceRequest request;
+    request.bytes = &encoded_[static_cast<size_t>(i) % encoded_.size()];
+    request.label = i;
+    request.klass = klass;
+    return request;
+  }
+
+  /// The deprecated raw-WorkItem surface, kept for the shim tests.
+  WorkItem LegacyItem(int i) const {
     WorkItem item;
     item.bytes = &encoded_[static_cast<size_t>(i) % encoded_.size()];
     item.label = i;
@@ -57,6 +71,9 @@ class ServingTest : public ::testing::Test {
   static Result<Image> DecodeSjpg(const WorkItem& item) {
     SjpgDecodeOptions opts;
     opts.roi = item.roi;
+    // The adaptive ladder's cheap-decode lever; the codec rejects combining
+    // it with an ROI, so it only applies to full-frame requests.
+    if (item.roi.empty()) opts.scale_denom = item.decode_scale_denom;
     return SjpgDecode(*item.bytes, opts);
   }
 
@@ -136,8 +153,8 @@ TEST_F(ServingTest, SlowSubmissionServesSingleSampleBatches) {
 // future with ResourceExhausted.
 TEST_F(ServingTest, ShedPolicyRejectsOverload) {
   ServerOptions opts;
-  opts.engine.num_producers = 2;  // keep in-flight capacity machine-independent
-  opts.engine.queue_capacity = 2;
+  opts.pipeline.num_producers = 2;  // keep in-flight capacity machine-independent
+  opts.pipeline.queue_capacity = 2;
   opts.max_batch = 2;
   opts.admission_capacity = 2;
   opts.overload = OverloadPolicy::kShed;
@@ -167,7 +184,7 @@ TEST_F(ServingTest, ShedPolicyRejectsOverload) {
 // request is eventually served.
 TEST_F(ServingTest, BlockPolicyCompletesEverything) {
   ServerOptions opts;
-  opts.engine.queue_capacity = 2;
+  opts.pipeline.queue_capacity = 2;
   opts.max_batch = 4;
   opts.admission_capacity = 2;
   opts.overload = OverloadPolicy::kBlock;
@@ -270,7 +287,7 @@ TEST_F(ServingTest, StagedBytesMatchLogicalTensorBytes) {
 TEST_F(ServingTest, RepeatedContentHitsCacheAndSkipsDecode) {
   ServerOptions opts;
   opts.max_batch = 8;
-  opts.engine.enable_tensor_cache = true;
+  opts.cache.enable_tensor_cache = true;
   Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
   std::vector<std::future<InferenceReply>> first;
   for (int i = 0; i < 8; ++i) first.push_back(server.Submit(Item(i)));
@@ -285,7 +302,7 @@ TEST_F(ServingTest, RepeatedContentHitsCacheAndSkipsDecode) {
   // Same encoded bytes, fresh labels: every request must hit.
   std::vector<std::future<InferenceReply>> second;
   for (int i = 0; i < 8; ++i) {
-    WorkItem item = Item(i);
+    InferenceRequest item = Item(i);
     item.label = 100 + i;
     second.push_back(server.Submit(item));
   }
@@ -319,12 +336,12 @@ TEST_F(ServingTest, CacheOnAndOffProduceIdenticalResults) {
     opts.max_batch = 4;
     // Two producers: duplicates (6 requests apart) are never decoded
     // concurrently, so the hit count below is deterministic.
-    opts.engine.num_producers = 2;
-    opts.engine.enable_tensor_cache = cache_on;
+    opts.pipeline.num_producers = 2;
+    opts.cache.enable_tensor_cache = cache_on;
     Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
     std::vector<std::future<InferenceReply>> replies;
     for (int i = 0; i < kRequests; ++i) {
-      WorkItem item = Item(i % kUniqueImages);  // heavy content repetition
+      InferenceRequest item = Item(i % kUniqueImages);  // heavy content repetition
       item.label = i;
       replies.push_back(server.Submit(item));
     }
@@ -359,7 +376,7 @@ TEST_F(ServingTest, CacheOnAndOffProduceIdenticalResults) {
 TEST_F(ServingTest, SingleDeviceFleetIsDegenerateCase) {
   ServerOptions opts;
   opts.max_batch = 8;
-  opts.engine.num_producers = 2;
+  opts.pipeline.num_producers = 2;
   SimAccelerator::Options accel_opts;
   accel_opts.dnn_throughput_ims = 1e5;
   opts.devices = MakeHomogeneousFleet(1, accel_opts);
@@ -385,7 +402,7 @@ TEST_F(ServingTest, SingleDeviceFleetIsDegenerateCase) {
 TEST_F(ServingTest, RoundRobinDispatchBalancesExactly) {
   ServerOptions opts;
   opts.max_batch = 8;
-  opts.engine.num_producers = 2;
+  opts.pipeline.num_producers = 2;
   opts.dispatch = DispatchPolicy::kRoundRobin;
   SimAccelerator::Options accel_opts;
   accel_opts.dnn_throughput_ims = 1e5;
@@ -419,7 +436,7 @@ TEST_F(ServingTest, LeastLoadedBalancesUniformLoad) {
   constexpr int kRequests = 256;
   ServerOptions opts;
   opts.max_batch = 8;
-  opts.engine.num_producers = 2;
+  opts.pipeline.num_producers = 2;
   opts.dispatch = DispatchPolicy::kLeastLoaded;
   opts.shard_queue_capacity = 16;
   SimAccelerator::Options accel_opts;
@@ -466,7 +483,7 @@ TEST_F(ServingTest, LoadAwareDispatchAdaptsToSkewedDeviceCosts) {
     constexpr int kRequests = 80;
     ServerOptions opts;
     opts.max_batch = 4;
-    opts.engine.num_producers = 2;
+    opts.pipeline.num_producers = 2;
     opts.dispatch = policy;
     opts.shard_queue_capacity = 4;
     SimAccelerator::Options slow;
@@ -506,7 +523,7 @@ TEST_F(ServingTest, LoadAwareDispatchAdaptsToSkewedDeviceCosts) {
 TEST_F(ServingTest, StatsSnapshotsAreCoherentMidRun) {
   ServerOptions opts;
   opts.max_batch = 4;
-  opts.engine.num_producers = 2;
+  opts.pipeline.num_producers = 2;
   SimAccelerator::Options accel_opts;
   accel_opts.dnn_throughput_ims = 5000.0;
   opts.devices = MakeHomogeneousFleet(2, accel_opts);
@@ -525,6 +542,16 @@ TEST_F(ServingTest, StatsSnapshotsAreCoherentMidRun) {
       uint64_t served = 0;
       for (const ShardStats& shard : s.shards) served += shard.served;
       if (s.completed < served) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Per-class splits are written after the globals, so a snapshot's
+      // global counters can trail in-flight work but never the class sums.
+      uint64_t class_submitted = 0, class_completed = 0;
+      for (const ClassStats& cs : s.classes) {
+        class_submitted += cs.submitted;
+        class_completed += cs.completed;
+      }
+      if (s.submitted < class_submitted || s.completed < class_completed) {
         violations.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -567,6 +594,476 @@ TEST_F(ServingTest, ThroughputMeasuresActiveWindowNotIdleLeadIn) {
   EXPECT_NEAR(stats.throughput_ims,
               static_cast<double>(stats.completed) / stats.active_seconds,
               1e-6);
+}
+
+// --- QoS request API -----------------------------------------------------------------
+
+// The deprecated raw-WorkItem Submit overloads forward through
+// InferenceRequest::FromWorkItem: legacy callers keep working, served as
+// best-accuracy traffic at rung 0.
+TEST_F(ServingTest, DeprecatedWorkItemSubmitStillServes) {
+  ServerOptions opts;
+  opts.max_batch = 4;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  auto future_reply = server.Submit(LegacyItem(3));
+  std::atomic<int> fired{0};
+  server.Submit(LegacyItem(4), [&](const InferenceReply& reply) {
+    if (reply.ok()) fired.fetch_add(1);
+  });
+  const InferenceReply r = future_reply.get();
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.label, 3);
+  EXPECT_EQ(r.klass, RequestClass::kBestAccuracy);
+  EXPECT_EQ(r.plan_rung, 0);
+  EXPECT_FALSE(r.degraded);
+  server.Shutdown();
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(server.stats().completed, 2u);
+}
+
+// A request whose deadline already passed completes with DeadlineExceeded
+// instead of occupying decode + device time; other traffic is unaffected.
+TEST_F(ServingTest, ExpiredDeadlineCompletesWithDeadlineExceeded) {
+  ServerOptions opts;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  InferenceRequest expired = Item(7);
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const InferenceReply r = server.Submit(expired).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.label, 7);
+  InferenceRequest live = Item(8);
+  live.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  EXPECT_TRUE(server.Submit(live).get().ok());
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.failed, 1u);  // expiries count as failures...
+  EXPECT_EQ(stats.completed, 1u);
+  // ...attributed to the request's class.
+  ASSERT_EQ(stats.classes.size(), static_cast<size_t>(kNumRequestClasses));
+  EXPECT_EQ(stats.classes[0].failed, 1u);
+}
+
+// After a drained shutdown the per-class splits must reconcile exactly with
+// the global counters, and each class's rung histogram with its completions.
+TEST_F(ServingTest, PerClassStatsReconcileWithGlobalTotals) {
+  ServerOptions opts;
+  opts.max_batch = 4;
+  opts.pipeline.num_producers = 2;
+  opts.pipeline.queue_capacity = 2;
+  opts.admission_capacity = 4;
+  opts.overload = OverloadPolicy::kShed;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1500.0));
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 96; ++i) {
+    const RequestClass klass = i % 3 == 0 ? RequestClass::kBestAccuracy
+                                          : RequestClass::kLatencySlo;
+    replies.push_back(server.Submit(Item(i, klass)));
+  }
+  for (auto& r : replies) r.wait();
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.classes.size(), static_cast<size_t>(kNumRequestClasses));
+  uint64_t submitted = 0, completed = 0, shed = 0, failed = 0;
+  for (int c = 0; c < kNumRequestClasses; ++c) {
+    const ClassStats& cs = stats.classes[static_cast<size_t>(c)];
+    EXPECT_EQ(cs.klass, static_cast<RequestClass>(c));
+    submitted += cs.submitted;
+    completed += cs.completed;
+    shed += cs.shed;
+    failed += cs.failed;
+    uint64_t by_rung = 0, degraded_rungs = 0;
+    for (size_t rung = 0; rung < cs.served_by_rung.size(); ++rung) {
+      by_rung += cs.served_by_rung[rung];
+      if (rung > 0) degraded_rungs += cs.served_by_rung[rung];
+    }
+    EXPECT_EQ(by_rung, cs.completed) << RequestClassName(cs.klass);
+    EXPECT_EQ(degraded_rungs, cs.degraded) << RequestClassName(cs.klass);
+  }
+  EXPECT_EQ(submitted, stats.submitted);
+  EXPECT_EQ(completed, stats.completed);
+  EXPECT_EQ(shed, stats.shed);
+  EXPECT_EQ(failed, stats.failed);
+  EXPECT_GT(stats.shed, 0u);  // the overload actually exercised shedding
+  EXPECT_EQ(stats.submitted + stats.shed, 96u);
+}
+
+// --- Plan ladder ---------------------------------------------------------------------
+
+TEST(PlanLadderTest, RungsScaleGeometryAndPickMultiResolutionDecode) {
+  PipelineSpec base;
+  base.input_width = 96;
+  base.input_height = 96;
+  base.resize_short_side = 72;
+  base.crop_width = 64;
+  base.crop_height = 64;
+  ASSERT_OK_AND_ASSIGN(auto ladder, BuildPlanLadder(base, {1.0, 0.5}, true));
+  ASSERT_EQ(ladder.size(), 2u);
+  EXPECT_EQ(ladder[0].decode_scale_denom, 1);  // 96/2 = 48 < 72: full decode
+  EXPECT_EQ(ladder[0].spec.input_width, 96);
+  EXPECT_DOUBLE_EQ(ladder[0].relative_cost, 1.0);
+  const PlanRung& cheap = ladder[1];
+  EXPECT_EQ(cheap.spec.resize_short_side, 36);
+  EXPECT_EQ(cheap.spec.crop_width, 32);
+  EXPECT_EQ(cheap.spec.crop_height, 32);
+  EXPECT_EQ(cheap.decode_scale_denom, 2);  // 96/2 = 48 still covers 36
+  // The rung's spec describes what its decoder emits.
+  EXPECT_EQ(cheap.spec.input_width, 48);
+  EXPECT_EQ(cheap.spec.input_height, 48);
+  EXPECT_LT(cheap.relative_cost, 1.0);
+  EXPECT_NE(cheap.fingerprint, ladder[0].fingerprint);
+  EXPECT_FALSE(cheap.name.empty());
+}
+
+TEST(PlanLadderTest, RejectsMalformedScales) {
+  PipelineSpec base;
+  base.input_width = 96;
+  base.input_height = 96;
+  base.resize_short_side = 72;
+  base.crop_width = 64;
+  base.crop_height = 64;
+  EXPECT_FALSE(BuildPlanLadder(base, {}, true).ok());
+  EXPECT_FALSE(BuildPlanLadder(base, {0.9, 0.5}, true).ok());  // must start at 1
+  EXPECT_FALSE(BuildPlanLadder(base, {1.0, 0.8, 0.8}, true).ok());  // not strict
+  EXPECT_FALSE(BuildPlanLadder(base, {1.0, -0.5}, true).ok());  // out of (0, 1]
+  PipelineSpec no_dims = base;
+  no_dims.input_width = 0;
+  EXPECT_FALSE(BuildPlanLadder(no_dims, {1.0, 0.5}, true).ok());
+}
+
+// Clamping (resize floor 8 px) can collapse adjacent scales onto identical
+// geometry; such rungs are dropped rather than duplicated.
+TEST(PlanLadderTest, CollapsedRungsAreDropped) {
+  PipelineSpec base;
+  base.input_width = 96;
+  base.input_height = 96;
+  base.resize_short_side = 9;
+  base.crop_width = 8;
+  base.crop_height = 8;
+  ASSERT_OK_AND_ASSIGN(auto ladder, BuildPlanLadder(base, {1.0, 0.95}, true));
+  EXPECT_EQ(ladder.size(), 1u);
+}
+
+// Every rung's compiled plan must keep the zero-copy executor parity the
+// serving path relies on: decode at the rung's multi-resolution denominator,
+// then ExecutePlanInto writes bit-identical output to ExecutePlan.
+TEST(PlanLadderTest, EveryRungExecuteIntoMatchesExecutePlanExactly) {
+  PipelineSpec base;
+  base.input_width = 96;
+  base.input_height = 96;
+  base.resize_short_side = 72;
+  base.crop_width = 64;
+  base.crop_height = 64;
+  ASSERT_OK_AND_ASSIGN(auto ladder,
+                       BuildPlanLadder(base, {1.0, 0.75, 0.5}, true));
+  ASSERT_GE(ladder.size(), 3u);
+  const Image img = MakeTestImage(96, 96, 3, 41);
+  auto encoded = SjpgEncode(img, {.quality = 85});
+  ASSERT_TRUE(encoded.ok());
+  const std::vector<uint8_t> bytes = std::move(encoded).MoveValue();
+  PreprocScratch scratch;
+  for (const PlanRung& rung : ladder) {
+    SCOPED_TRACE(rung.name);
+    SjpgDecodeOptions dopts;
+    dopts.scale_denom = rung.decode_scale_denom;
+    ASSERT_OK_AND_ASSIGN(Image decoded, SjpgDecode(bytes, dopts));
+    ASSERT_EQ(decoded.width(), rung.spec.input_width);
+    ASSERT_EQ(decoded.height(), rung.spec.input_height);
+    ASSERT_OK_AND_ASSIGN(FloatImage ref,
+                         ExecutePlan(rung.plan, rung.spec, decoded));
+    std::vector<float> dst(ref.data.size(), -1.0f);
+    ASSERT_OK_AND_ASSIGN(size_t written,
+                         ExecutePlanInto(rung.plan, rung.spec, decoded,
+                                         scratch, dst.data(), dst.size()));
+    ASSERT_EQ(written, ref.data.size());
+    EXPECT_EQ(0, std::memcmp(dst.data(), ref.data.data(),
+                             written * sizeof(float)));
+  }
+}
+
+TEST(PlanLadderTest, FrontierGainsMapToDecreasingScales) {
+  std::vector<SmolOptimizer::FrontierRung> frontier(3);
+  frontier[0].relative_throughput = 1.0;
+  frontier[1].relative_throughput = 2.0;
+  frontier[2].relative_throughput = 16.0;
+  const auto scales = LadderScalesFromFrontier(frontier, 4);
+  ASSERT_EQ(scales.size(), 3u);
+  EXPECT_DOUBLE_EQ(scales[0], 1.0);
+  // Pixel cost is quadratic in the linear dimension: gain g -> ~1/sqrt(g).
+  EXPECT_NEAR(scales[1], 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(scales[2], 0.35);  // clamped floor
+  EXPECT_EQ(LadderScalesFromFrontier(frontier, 2).size(), 2u);  // capped
+  // Sub-2% steps dedupe away instead of producing near-identical rungs.
+  std::vector<SmolOptimizer::FrontierRung> flat(2);
+  flat[0].relative_throughput = 1.0;
+  flat[1].relative_throughput = 1.01;
+  EXPECT_EQ(LadderScalesFromFrontier(flat, 4), std::vector<double>{1.0});
+}
+
+// --- PlanController hysteresis -------------------------------------------------------
+
+TEST(PlanControllerTest, DegradesUnderPressureWithCooldownBetweenSteps) {
+  PlanControllerOptions opts;
+  opts.cooldown_intervals = 2;
+  PlanController controller(opts, /*num_rungs=*/3);
+  LoadSignals pressure;
+  pressure.queue_depth = 80;
+  pressure.queue_capacity = 100;  // fill 0.8 >= queue_high_fraction
+  EXPECT_EQ(controller.Observe(pressure), 1);  // first tick steps down
+  EXPECT_EQ(controller.Observe(pressure), 1);  // cooldown holds the rung
+  EXPECT_EQ(controller.Observe(pressure), 2);  // cooldown expired: next step
+  EXPECT_EQ(controller.Observe(pressure), 2);
+  EXPECT_EQ(controller.Observe(pressure), 2);  // bottom of the ladder: pinned
+  EXPECT_EQ(controller.level(), 2);
+  EXPECT_EQ(controller.switches(), 2u);
+}
+
+TEST(PlanControllerTest, RecoversOnlyAfterConsecutiveCalmIntervals) {
+  PlanControllerOptions opts;
+  opts.cooldown_intervals = 0;
+  opts.recover_intervals = 3;
+  PlanController controller(opts, /*num_rungs=*/3);
+  LoadSignals pressure;
+  pressure.shed_delta = 4;  // any shedding is pressure
+  controller.Observe(pressure);
+  controller.Observe(pressure);
+  ASSERT_EQ(controller.level(), 2);
+  LoadSignals calm;
+  calm.queue_capacity = 100;  // empty queue, no shedding
+  EXPECT_EQ(controller.Observe(calm), 2);
+  EXPECT_EQ(controller.Observe(calm), 2);
+  EXPECT_EQ(controller.Observe(calm), 1);  // third calm tick steps up
+  // Each recovery step restarts the streak: three more ticks per rung.
+  EXPECT_EQ(controller.Observe(calm), 1);
+  EXPECT_EQ(controller.Observe(calm), 1);
+  EXPECT_EQ(controller.Observe(calm), 0);
+  EXPECT_EQ(controller.Observe(calm), 0);  // top of the ladder: pinned
+  EXPECT_EQ(controller.switches(), 4u);
+}
+
+// The zone between the low and high queue watermarks is ambiguous: the
+// controller holds the rung AND restarts the calm streak, so load hovering
+// around the threshold cannot make it flap.
+TEST(PlanControllerTest, AmbiguousLoadHoldsRungAndRestartsCalmStreak) {
+  PlanControllerOptions opts;
+  opts.cooldown_intervals = 0;
+  opts.recover_intervals = 2;
+  PlanController controller(opts, /*num_rungs=*/2);
+  LoadSignals pressure;
+  pressure.queue_depth = 60;
+  pressure.queue_capacity = 100;
+  controller.Observe(pressure);
+  ASSERT_EQ(controller.level(), 1);
+  LoadSignals mid;
+  mid.queue_depth = 30;  // between low (15) and high (50) watermarks
+  mid.queue_capacity = 100;
+  LoadSignals calm;
+  calm.queue_capacity = 100;
+  EXPECT_EQ(controller.Observe(calm), 1);  // calm streak: 1
+  EXPECT_EQ(controller.Observe(mid), 1);   // ambiguous: hold + reset streak
+  EXPECT_EQ(controller.Observe(calm), 1);  // streak restarts at 1
+  EXPECT_EQ(controller.Observe(calm), 0);  // streak reaches 2: recover
+  EXPECT_EQ(controller.switches(), 2u);
+}
+
+TEST(PlanControllerTest, WindowedTailLatencySignalRespectsMinimumCount) {
+  PlanControllerOptions opts;
+  opts.cooldown_intervals = 0;
+  opts.recover_intervals = 1;
+  opts.degrade_p99_us = 10000.0;
+  opts.min_window_count = 8;
+  PlanController controller(opts, /*num_rungs=*/2);
+  LoadSignals slow;
+  slow.queue_capacity = 100;  // empty queue: only the latency signal fires
+  slow.window.count = 4;      // too few samples: p99 is noise, no degrade
+  slow.window.p99_us = 50000.0;
+  EXPECT_EQ(controller.Observe(slow), 0);
+  slow.window.count = 64;  // now the window is trustworthy
+  EXPECT_EQ(controller.Observe(slow), 1);
+  // Between recover (7 ms = 0.7 * degrade) and degrade (10 ms): ambiguous.
+  LoadSignals tepid = slow;
+  tepid.window.p99_us = 8000.0;
+  EXPECT_EQ(controller.Observe(tepid), 1);
+  LoadSignals cool = slow;
+  cool.window.p99_us = 5000.0;  // under the recover threshold
+  EXPECT_EQ(controller.Observe(cool), 0);
+}
+
+TEST(PlanControllerTest, ClassFloorsClampTheSharedLevel) {
+  PlanControllerOptions opts;
+  opts.cooldown_intervals = 0;
+  PlanController controller(opts, /*num_rungs=*/4);
+  LoadSignals pressure;
+  pressure.shed_delta = 1;
+  for (int i = 0; i < 8; ++i) controller.Observe(pressure);
+  EXPECT_EQ(controller.level(), 3);
+  // Default floors: best-accuracy pinned to rung 0, SLO rides the ladder.
+  EXPECT_EQ(controller.RungFor(RequestClass::kBestAccuracy), 0);
+  EXPECT_EQ(controller.RungFor(RequestClass::kLatencySlo), 3);
+
+  PlanControllerOptions partial = opts;
+  partial.floor_rung = {1, 2};  // explicit per-class floors
+  PlanController clamped(partial, /*num_rungs=*/4);
+  for (int i = 0; i < 8; ++i) clamped.Observe(pressure);
+  EXPECT_EQ(clamped.RungFor(RequestClass::kBestAccuracy), 1);
+  EXPECT_EQ(clamped.RungFor(RequestClass::kLatencySlo), 2);
+}
+
+// --- Adaptive serving end-to-end -----------------------------------------------------
+
+// A non-adaptive server is the degenerate one-rung ladder: no controller, no
+// switches, every reply at rung 0.
+TEST_F(ServingTest, StaticServerReportsSingleRungLadder) {
+  ServerOptions opts;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(1e5));
+  EXPECT_EQ(server.ladder().size(), 1u);
+  EXPECT_EQ(server.ActiveRung(RequestClass::kLatencySlo), 0);
+  const InferenceReply r =
+      server.Submit(Item(0, RequestClass::kLatencySlo)).get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.plan_rung, 0);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.klass, RequestClass::kLatencySlo);
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.num_rungs, 1);
+  EXPECT_EQ(stats.plan_switches, 0u);
+  ASSERT_EQ(stats.active_rung.size(),
+            static_cast<size_t>(kNumRequestClasses));
+  EXPECT_EQ(stats.active_rung[0], 0);
+  EXPECT_EQ(stats.active_rung[1], 0);
+}
+
+// The flagship scenario: a sustained burst against a slow device fills the
+// (blocking) admission queue, the controller degrades SLO traffic down the
+// ladder, and once the burst drains it recovers to full fidelity — verified
+// by a post-burst probe served at rung 0.
+TEST_F(ServingTest, AdaptiveServerDegradesUnderBurstAndRecovers) {
+  ServerOptions opts;
+  opts.max_batch = 4;
+  opts.pipeline.num_producers = 2;
+  opts.admission_capacity = 16;
+  opts.overload = OverloadPolicy::kBlock;  // deterministic: nothing shed
+  opts.adaptive.ladder_scales = {1.0, 0.7, 0.5};
+  opts.adaptive.controller.sample_interval_us = 1000.0;
+  opts.adaptive.controller.recover_intervals = 3;
+  // The device drains ~800 im/s while Submit() offers as fast as it can, so
+  // the admission queue stays pinned at capacity for the whole burst.
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(800.0));
+  ASSERT_EQ(server.ladder().size(), 3u);
+
+  std::vector<std::future<InferenceReply>> replies;
+  for (int i = 0; i < 200; ++i) {
+    replies.push_back(server.Submit(Item(i, RequestClass::kLatencySlo)));
+  }
+  uint64_t ok = 0, degraded = 0;
+  for (auto& reply : replies) {
+    const InferenceReply r = reply.get();
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    ++ok;
+    ASSERT_GE(r.plan_rung, 0);
+    ASSERT_LT(r.plan_rung, 3);
+    EXPECT_EQ(r.degraded, r.plan_rung > 0);
+    if (r.degraded) ++degraded;
+  }
+  EXPECT_EQ(ok, 200u);
+  EXPECT_GT(degraded, 0u);  // the burst pushed SLO traffic down the ladder
+
+  // The burst is over; the controller must walk back to full fidelity.
+  const auto recover_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.ActiveRung(RequestClass::kLatencySlo) != 0 &&
+         std::chrono::steady_clock::now() < recover_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.ActiveRung(RequestClass::kLatencySlo), 0);
+  const InferenceReply probe =
+      server.Submit(Item(0, RequestClass::kLatencySlo)).get();
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe.plan_rung, 0);
+  EXPECT_FALSE(probe.degraded);
+
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.plan_switches, 2u);  // at least one down + one up step
+  ASSERT_EQ(stats.classes.size(), static_cast<size_t>(kNumRequestClasses));
+  const ClassStats& slo = stats.classes[1];
+  EXPECT_EQ(slo.degraded, degraded);
+  ASSERT_EQ(slo.served_by_rung.size(), 3u);
+  EXPECT_EQ(slo.served_by_rung[1] + slo.served_by_rung[2], degraded);
+}
+
+// The SLO-tier floor: under the same sustained pressure, best-accuracy
+// requests are always served at rung 0 while SLO traffic degrades.
+TEST_F(ServingTest, BestAccuracyClassIsNeverDegraded) {
+  ServerOptions opts;
+  opts.max_batch = 4;
+  opts.pipeline.num_producers = 2;
+  opts.admission_capacity = 16;
+  opts.overload = OverloadPolicy::kBlock;
+  opts.adaptive.ladder_scales = {1.0, 0.6};
+  opts.adaptive.controller.sample_interval_us = 1000.0;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(800.0));
+  std::vector<std::future<InferenceReply>> replies;
+  std::vector<RequestClass> classes;
+  for (int i = 0; i < 160; ++i) {
+    const RequestClass klass = i % 4 == 0 ? RequestClass::kBestAccuracy
+                                          : RequestClass::kLatencySlo;
+    classes.push_back(klass);
+    replies.push_back(server.Submit(Item(i, klass)));
+  }
+  uint64_t slo_degraded = 0;
+  for (size_t i = 0; i < replies.size(); ++i) {
+    const InferenceReply r = replies[i].get();
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_EQ(r.klass, classes[i]);
+    if (classes[i] == RequestClass::kBestAccuracy) {
+      EXPECT_EQ(r.plan_rung, 0);  // the floor pins accuracy-critical traffic
+      EXPECT_FALSE(r.degraded);
+    } else if (r.degraded) {
+      ++slo_degraded;
+    }
+  }
+  EXPECT_GT(slo_degraded, 0u);  // pressure really degraded the SLO tier
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.classes[0].degraded, 0u);
+  EXPECT_EQ(stats.classes[0].served_by_rung[0], stats.classes[0].completed);
+  EXPECT_EQ(stats.classes[1].degraded, slo_degraded);
+}
+
+// ROI requests pin to rung 0 regardless of load: the codec cannot combine
+// partial (ROI) decode with multi-resolution decode.
+TEST_F(ServingTest, RoiRequestsPinToFullFidelityRung) {
+  ServerOptions opts;
+  opts.max_batch = 4;
+  opts.pipeline.num_producers = 2;
+  opts.admission_capacity = 16;
+  opts.overload = OverloadPolicy::kBlock;
+  opts.adaptive.ladder_scales = {1.0, 0.5};
+  opts.adaptive.controller.sample_interval_us = 1000.0;
+  Server server(opts, spec_, DecodeSjpg, MakeAccel(800.0));
+  std::vector<std::future<InferenceReply>> replies;
+  std::vector<bool> has_roi;
+  for (int i = 0; i < 120; ++i) {
+    InferenceRequest request = Item(i, RequestClass::kLatencySlo);
+    if (i % 5 == 0) request.roi = Roi{8, 8, 80, 80};
+    has_roi.push_back(!request.roi.empty());
+    replies.push_back(server.Submit(std::move(request)));
+  }
+  uint64_t degraded = 0;
+  for (size_t i = 0; i < replies.size(); ++i) {
+    const InferenceReply r = replies[i].get();
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    if (has_roi[i]) {
+      EXPECT_EQ(r.plan_rung, 0);
+    } else if (r.degraded) {
+      ++degraded;
+    }
+  }
+  EXPECT_GT(degraded, 0u);  // full-frame SLO traffic did degrade around them
+  server.Shutdown();
 }
 
 // --- LatencyHistogram ----------------------------------------------------------------
@@ -710,6 +1207,66 @@ TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(copied.min_us, before.min_us);
   EXPECT_DOUBLE_EQ(copied.max_us, before.max_us);
   EXPECT_DOUBLE_EQ(copied.p50_us, before.p50_us);
+}
+
+// --- LatencyWindow -------------------------------------------------------------------
+
+// The controller's rolling view: each Advance() sees only the samples
+// recorded since the previous one, never diluted by history — the cumulative
+// histogram underneath is untouched.
+TEST(LatencyWindowTest, AdvanceIsolatesEachInterval) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 100; ++i) hist.Record(1000.0);
+  LatencyWindow window(hist);  // construction snapshots the current counts
+  for (int i = 0; i < 64; ++i) hist.Record(10000.0);
+  const auto first = window.Advance();
+  EXPECT_EQ(first.count, 64u);
+  // Undiluted by the 100 pre-construction 1 ms samples (bucket resolution
+  // is <1%; 3% test budget).
+  EXPECT_NEAR(first.p50_us / 10000.0, 1.0, 0.03);
+  EXPECT_NEAR(first.p99_us / 10000.0, 1.0, 0.03);
+
+  const auto idle = window.Advance();  // nothing recorded since
+  EXPECT_EQ(idle.count, 0u);
+  EXPECT_EQ(idle.p99_us, 0.0);
+
+  for (int i = 0; i < 32; ++i) hist.Record(100.0);
+  const auto second = window.Advance();
+  EXPECT_EQ(second.count, 32u);
+  EXPECT_NEAR(second.p50_us / 100.0, 1.0, 0.03);
+
+  EXPECT_EQ(hist.count(), 196u);  // the source histogram keeps everything
+}
+
+// Concurrent recording may race an Advance(); the monotone per-bucket
+// counters guarantee every sample lands in exactly one window.
+TEST(LatencyWindowTest, ConcurrentRecordsLandInExactlyOneWindow) {
+  LatencyHistogram hist;
+  LatencyWindow window(hist);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  uint64_t windowed = 0;
+  std::thread advancer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      windowed += window.Advance().count;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&hist, t] {
+      Rng rng(static_cast<uint64_t>(t) + 7);
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(rng.UniformDouble(1.0, 1e6));
+      }
+    });
+  }
+  for (auto& t : recorders) t.join();
+  stop.store(true, std::memory_order_release);
+  advancer.join();
+  windowed += window.Advance().count;  // the final partial window
+  EXPECT_EQ(windowed, static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
 }  // namespace
